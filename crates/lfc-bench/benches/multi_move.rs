@@ -1,0 +1,70 @@
+//! Experiment MOVEN: cost of the n-object move (paper §8 extension).
+//!
+//! Measures `move_to_all` latency as the number of targets grows (each
+//! extra target adds one CASN entry = one RDCSS install + one swing), and
+//! compares the 1-target CASN-based move against the DCAS-based `move_one`
+//! (the paper's DCAS needs fewer CASes — this quantifies the gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfc_core::{move_one, move_to_all, MoveOutcome};
+use lfc_structures::MsQueue;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn multi_move_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("move_to_all_targets");
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for n in 1..=5usize {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let src: MsQueue<u64> = MsQueue::new();
+            let dsts: Vec<MsQueue<u64>> = (0..n).map(|_| MsQueue::new()).collect();
+            let refs: Vec<&MsQueue<u64>> = dsts.iter().collect();
+            src.enqueue(1);
+            b.iter(|| {
+                let r = move_to_all(&src, &refs);
+                assert_eq!(r, MoveOutcome::Moved);
+                // Drain the broadcast clones and return the element so the
+                // next iteration starts from the same state.
+                for (i, d) in dsts.iter().enumerate() {
+                    let v = d.dequeue().unwrap();
+                    if i == 0 {
+                        src.enqueue(v);
+                    }
+                }
+                black_box(r)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn dcas_vs_casn_single_target(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_target_move");
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("move_one_dcas", |b| {
+        let src: MsQueue<u64> = MsQueue::new();
+        let dst: MsQueue<u64> = MsQueue::new();
+        src.enqueue(1);
+        b.iter(|| {
+            assert_eq!(move_one(&src, &dst), MoveOutcome::Moved);
+            assert_eq!(move_one(&dst, &src), MoveOutcome::Moved);
+        })
+    });
+
+    g.bench_function("move_to_all_casn", |b| {
+        let src: MsQueue<u64> = MsQueue::new();
+        let dst: MsQueue<u64> = MsQueue::new();
+        src.enqueue(1);
+        b.iter(|| {
+            assert_eq!(move_to_all(&src, &[&dst]), MoveOutcome::Moved);
+            src.enqueue(dst.dequeue().unwrap());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, multi_move_scaling, dcas_vs_casn_single_target);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! reproduce fig2            # queue/stack  (paper Figure 2)
+//! reproduce fig3            # queue/queue  (paper Figure 3)
+//! reproduce fig4            # stack/stack  (paper Figure 4)
+//! reproduce all
+//! reproduce fig2 --backoff  # §6–§7 "with backoff" variant
+//! ```
+//!
+//! Options: `--ops N` (total operations, default 1,000,000), `--trials K`
+//! (default 10; paper uses 5,000,000/50), `--threads 1,2,4,8,16`, `--csv`.
+//!
+//! Each figure has three panels (operation mixes): insert/remove only, move
+//! only, and both — for lock-free vs blocking at high and low contention.
+//! The printed value is the total synchronization time in milliseconds
+//! (wall time minus local work), mean ± standard deviation over the trials,
+//! exactly the quantity the paper plots.
+
+use lfc_bench::stats::{mean, std_dev};
+use lfc_bench::{run_config, Contention, Impl, Mix, Pair, RunCfg};
+
+struct Options {
+    figures: Vec<(&'static str, Pair)>,
+    total_ops: usize,
+    trials: usize,
+    threads: Vec<usize>,
+    backoff: bool,
+    csv: bool,
+}
+
+fn parse_args() -> Options {
+    let mut figures = Vec::new();
+    let mut total_ops = 1_000_000;
+    let mut trials = 10;
+    let mut threads = vec![1, 2, 4, 8, 16];
+    let mut backoff = false;
+    let mut csv = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "fig2" => figures.push(("Figure 2 (queue/stack)", Pair::QueueStack)),
+            "fig3" => figures.push(("Figure 3 (queue/queue)", Pair::QueueQueue)),
+            "fig4" => figures.push(("Figure 4 (stack/stack)", Pair::StackStack)),
+            "all" => {
+                figures.push(("Figure 2 (queue/stack)", Pair::QueueStack));
+                figures.push(("Figure 3 (queue/queue)", Pair::QueueQueue));
+                figures.push(("Figure 4 (stack/stack)", Pair::StackStack));
+            }
+            "--backoff" => backoff = true,
+            "--csv" => csv = true,
+            "--ops" => {
+                i += 1;
+                total_ops = args[i].parse().expect("--ops N");
+            }
+            "--trials" => {
+                i += 1;
+                trials = args[i].parse().expect("--trials K");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--threads a,b,c"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if figures.is_empty() {
+        eprintln!("usage: reproduce <fig2|fig3|fig4|all> [--backoff] [--ops N] [--trials K] [--threads 1,2,..] [--csv]");
+        std::process::exit(2);
+    }
+    Options {
+        figures,
+        total_ops,
+        trials,
+        threads,
+        backoff,
+        csv,
+    }
+}
+
+fn main() {
+    let opt = parse_args();
+    // The paper tunes the backoff "so as to give the best performance to the
+    // blocking implementation"; these constants behave well on small hosts.
+    let backoff = opt.backoff.then_some((250u32, 100_000u32));
+
+    if opt.csv {
+        println!("figure,mix,impl,contention,threads,mean_ms,sd_ms");
+    }
+
+    for (name, pair) in &opt.figures {
+        if !opt.csv {
+            println!("\n=== {name}{} — total sync time (ms), {} ops, {} trials ===",
+                if opt.backoff { ", with backoff" } else { ", no backoff" },
+                opt.total_ops, opt.trials);
+        }
+        for (mix_name, mix) in [
+            ("insert/remove only", Mix::OpsOnly),
+            ("move only", Mix::MoveOnly),
+            ("both", Mix::Both),
+        ] {
+            if !opt.csv {
+                println!("\n--- {mix_name} ---");
+                println!(
+                    "{:>8} | {:>22} | {:>22} | {:>22} | {:>22}",
+                    "threads",
+                    "lock-free high",
+                    "blocking high",
+                    "lock-free low",
+                    "blocking low"
+                );
+            }
+            for &threads in &opt.threads {
+                let mut cells = Vec::new();
+                for contention in [Contention::High, Contention::Low] {
+                    for imp in [Impl::LockFree, Impl::Blocking] {
+                        let cfg = RunCfg {
+                            pair: *pair,
+                            mix,
+                            imp,
+                            contention,
+                            threads,
+                            total_ops: opt.total_ops,
+                            backoff,
+                            prefill: 1_000,
+                        };
+                        let xs = run_config(&cfg, opt.trials);
+                        let (m, sd) = (mean(&xs), std_dev(&xs));
+                        if opt.csv {
+                            println!(
+                                "{},{},{},{},{},{:.2},{:.2}",
+                                name,
+                                mix_name,
+                                match imp {
+                                    Impl::LockFree => "lockfree",
+                                    Impl::Blocking => "blocking",
+                                },
+                                match contention {
+                                    Contention::High => "high",
+                                    Contention::Low => "low",
+                                },
+                                threads,
+                                m,
+                                sd
+                            );
+                        }
+                        cells.push(format!("{m:>13.1} ±{sd:>6.1}"));
+                    }
+                }
+                if !opt.csv {
+                    // cells order: LF-high, BL-high, LF-low, BL-low
+                    println!(
+                        "{:>8} | {:>22} | {:>22} | {:>22} | {:>22}",
+                        threads, cells[0], cells[1], cells[2], cells[3]
+                    );
+                }
+            }
+        }
+    }
+}

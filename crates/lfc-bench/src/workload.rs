@@ -1,0 +1,327 @@
+//! The paper's workload generator and trial runner.
+
+use lfc_core::move_one;
+use lfc_runtime::BackoffCfg;
+use lfc_structures::{lock_move, LockQueue, LockStack, MsQueue, TreiberStack};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Which pair of objects the trial uses (paper: "two queues, two stacks, or
+/// one queue and one stack").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pair {
+    /// Two Michael–Scott queues (Figure 3).
+    QueueQueue,
+    /// Two Treiber stacks (Figure 4).
+    StackStack,
+    /// One queue, one stack (Figure 2).
+    QueueStack,
+}
+
+/// Operation mix (paper: "just move operations, or just insert/remove
+/// operations, or both").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    /// Only insert/remove operations.
+    OpsOnly,
+    /// Only composed move operations.
+    MoveOnly,
+    /// Half insert/remove, half moves.
+    Both,
+}
+
+/// Implementation under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Impl {
+    /// The move-ready lock-free objects with the DCAS-composed move.
+    LockFree,
+    /// Test-test-and-set-locked objects with the two-lock composed move.
+    Blocking,
+}
+
+/// Contention level via local work between operations (paper §6: ≈0.1 µs
+/// per operation for high contention, ≈0.5 µs for low).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Contention {
+    /// ≈0.1 µs local work per operation.
+    High,
+    /// ≈0.5 µs local work per operation.
+    Low,
+}
+
+impl Contention {
+    /// Mean local work per operation in nanoseconds.
+    pub fn work_ns(self) -> u64 {
+        match self {
+            Contention::High => 100,
+            Contention::Low => 500,
+        }
+    }
+}
+
+/// One experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RunCfg {
+    /// Object pair.
+    pub pair: Pair,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Implementation.
+    pub imp: Impl,
+    /// Contention level.
+    pub contention: Contention,
+    /// Thread count.
+    pub threads: usize,
+    /// Total operations, split evenly (paper: five million).
+    pub total_ops: usize,
+    /// Backoff (doubling) applied to failed lock acquisitions / failed
+    /// CASes, or `None` for the no-backoff runs.
+    pub backoff: Option<(u32, u32)>,
+    /// Elements pre-loaded into each object so moves/removes find work.
+    pub prefill: usize,
+}
+
+impl RunCfg {
+    fn backoff_cfg(&self) -> BackoffCfg {
+        match self.backoff {
+            Some((lo, hi)) => BackoffCfg::exponential(lo, hi),
+            None => BackoffCfg::NONE,
+        }
+    }
+}
+
+/// Result of one trial.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialResult {
+    /// Wall-clock time for all threads to finish their allotted operations.
+    pub wall: Duration,
+    /// Synchronization time: wall time minus the mean per-thread local work
+    /// (the paper's reported metric).
+    pub sync_time: Duration,
+}
+
+enum Obj {
+    LfQ(MsQueue<u64>),
+    LfS(TreiberStack<u64>),
+    LkQ(LockQueue<u64>),
+    LkS(LockStack<u64>),
+}
+
+impl Obj {
+    fn insert(&self, v: u64) {
+        match self {
+            Obj::LfQ(q) => q.enqueue(v),
+            Obj::LfS(s) => s.push(v),
+            Obj::LkQ(q) => q.enqueue(v),
+            Obj::LkS(s) => s.push(v),
+        }
+    }
+
+    fn remove(&self) -> Option<u64> {
+        match self {
+            Obj::LfQ(q) => q.dequeue(),
+            Obj::LfS(s) => s.pop(),
+            Obj::LkQ(q) => q.dequeue(),
+            Obj::LkS(s) => s.pop(),
+        }
+    }
+}
+
+fn mv(a: &Obj, b: &Obj) -> bool {
+    match (a, b) {
+        (Obj::LfQ(x), Obj::LfQ(y)) => move_one(x, y) == lfc_core::MoveOutcome::Moved,
+        (Obj::LfQ(x), Obj::LfS(y)) => move_one(x, y) == lfc_core::MoveOutcome::Moved,
+        (Obj::LfS(x), Obj::LfQ(y)) => move_one(x, y) == lfc_core::MoveOutcome::Moved,
+        (Obj::LfS(x), Obj::LfS(y)) => move_one(x, y) == lfc_core::MoveOutcome::Moved,
+        (Obj::LkQ(x), Obj::LkQ(y)) => lock_move(x, y),
+        (Obj::LkQ(x), Obj::LkS(y)) => lock_move(x, y),
+        (Obj::LkS(x), Obj::LkQ(y)) => lock_move(x, y),
+        (Obj::LkS(x), Obj::LkS(y)) => lock_move(x, y),
+        _ => unreachable!("pairs never mix implementations"),
+    }
+}
+
+fn build_pair(cfg: &RunCfg) -> (Obj, Obj) {
+    let bo = cfg.backoff_cfg();
+    match (cfg.imp, cfg.pair) {
+        (Impl::LockFree, Pair::QueueQueue) => (
+            Obj::LfQ(MsQueue::with_backoff(bo)),
+            Obj::LfQ(MsQueue::with_backoff(bo)),
+        ),
+        (Impl::LockFree, Pair::StackStack) => (
+            Obj::LfS(TreiberStack::with_backoff(bo)),
+            Obj::LfS(TreiberStack::with_backoff(bo)),
+        ),
+        (Impl::LockFree, Pair::QueueStack) => (
+            Obj::LfQ(MsQueue::with_backoff(bo)),
+            Obj::LfS(TreiberStack::with_backoff(bo)),
+        ),
+        (Impl::Blocking, Pair::QueueQueue) => (
+            Obj::LkQ(LockQueue::with_backoff(bo)),
+            Obj::LkQ(LockQueue::with_backoff(bo)),
+        ),
+        (Impl::Blocking, Pair::StackStack) => (
+            Obj::LkS(LockStack::with_backoff(bo)),
+            Obj::LkS(LockStack::with_backoff(bo)),
+        ),
+        (Impl::Blocking, Pair::QueueStack) => (
+            Obj::LkQ(LockQueue::with_backoff(bo)),
+            Obj::LkS(LockStack::with_backoff(bo)),
+        ),
+    }
+}
+
+/// Local work: spin for a duration drawn from an approximately normal
+/// distribution with the given mean (Irwin–Hall sum of three uniforms;
+/// the paper draws its work time from a normal distribution).
+#[inline]
+fn local_work(rng: &mut SmallRng, mean_ns: u64) -> u64 {
+    if mean_ns == 0 {
+        return 0;
+    }
+    let lo = mean_ns / 2;
+    let hi = mean_ns + mean_ns / 2;
+    let sample =
+        (rng.gen_range(lo..=hi) + rng.gen_range(lo..=hi) + rng.gen_range(lo..=hi)) / 3;
+    let start = Instant::now();
+    let d = Duration::from_nanos(sample);
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+    sample
+}
+
+/// Run one trial of `cfg`, returning wall and synchronization times.
+pub fn run_trial(cfg: &RunCfg, seed: u64) -> TrialResult {
+    let (a, b) = build_pair(cfg);
+    for i in 0..cfg.prefill as u64 {
+        a.insert(i);
+        b.insert(i);
+    }
+    let ops_per_thread = cfg.total_ops / cfg.threads.max(1);
+    let barrier = Barrier::new(cfg.threads + 1);
+    let failed = AtomicBool::new(false);
+    let mut work_ns_totals: Vec<u64> = Vec::with_capacity(cfg.threads);
+
+    let wall = std::thread::scope(|sc| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let a = &a;
+            let b = &b;
+            let barrier = &barrier;
+            let failed = &failed;
+            handles.push(sc.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                barrier.wait();
+                let mut my_work = 0u64;
+                for i in 0..ops_per_thread {
+                    let r: u32 = rng.gen();
+                    let do_move = match cfg.mix {
+                        Mix::OpsOnly => false,
+                        Mix::MoveOnly => true,
+                        Mix::Both => r & 1 == 0,
+                    };
+                    if do_move {
+                        let (src, dst) = if r & 2 == 0 { (a, b) } else { (b, a) };
+                        let _ = mv(src, dst);
+                    } else {
+                        let obj = if r & 2 == 0 { a } else { b };
+                        if r & 4 == 0 {
+                            obj.insert(i as u64);
+                        } else {
+                            let _ = obj.remove();
+                        }
+                    }
+                    my_work += local_work(&mut rng, cfg.contention.work_ns());
+                }
+                if my_work == u64::MAX {
+                    failed.store(true, Ordering::Relaxed); // unreachable; keeps `failed` used
+                }
+                my_work
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            work_ns_totals.push(h.join().expect("worker panicked"));
+        }
+        start.elapsed()
+    });
+
+    let mean_work_ns = if work_ns_totals.is_empty() {
+        0
+    } else {
+        work_ns_totals.iter().sum::<u64>() / work_ns_totals.len() as u64
+    };
+    let sync_time = wall.saturating_sub(Duration::from_nanos(mean_work_ns));
+    TrialResult { wall, sync_time }
+}
+
+/// Run all trials of a configuration; returns per-trial synchronization
+/// times in milliseconds.
+pub fn run_config(cfg: &RunCfg, trials: usize) -> Vec<f64> {
+    (0..trials)
+        .map(|k| run_trial(cfg, 0xC0FFEE ^ k as u64).sync_time.as_secs_f64() * 1e3)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(pair: Pair, mix: Mix, imp: Impl) -> RunCfg {
+        RunCfg {
+            pair,
+            mix,
+            imp,
+            contention: Contention::High,
+            threads: 2,
+            total_ops: 4_000,
+            backoff: None,
+            prefill: 100,
+        }
+    }
+
+    #[test]
+    fn lockfree_trials_run_all_pairs_and_mixes() {
+        for pair in [Pair::QueueQueue, Pair::StackStack, Pair::QueueStack] {
+            for mix in [Mix::OpsOnly, Mix::MoveOnly, Mix::Both] {
+                let r = run_trial(&tiny(pair, mix, Impl::LockFree), 1);
+                assert!(r.wall > Duration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_trials_run_all_pairs_and_mixes() {
+        for pair in [Pair::QueueQueue, Pair::StackStack, Pair::QueueStack] {
+            for mix in [Mix::OpsOnly, Mix::MoveOnly, Mix::Both] {
+                let r = run_trial(&tiny(pair, mix, Impl::Blocking), 2);
+                assert!(r.wall > Duration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_config_accepted() {
+        let mut cfg = tiny(Pair::QueueStack, Mix::Both, Impl::LockFree);
+        cfg.backoff = Some((100, 10_000));
+        let r = run_trial(&cfg, 3);
+        assert!(r.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn sync_time_is_bounded_by_wall() {
+        let r = run_trial(&tiny(Pair::QueueQueue, Mix::Both, Impl::LockFree), 4);
+        assert!(r.sync_time <= r.wall);
+    }
+
+    #[test]
+    fn run_config_returns_requested_trials() {
+        let xs = run_config(&tiny(Pair::StackStack, Mix::OpsOnly, Impl::LockFree), 3);
+        assert_eq!(xs.len(), 3);
+    }
+}

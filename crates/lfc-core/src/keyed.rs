@@ -1,0 +1,104 @@
+//! Keyed composition: the paper's opening scenario (§1.1) —
+//!
+//! > "one can imagine a scenario where one wants to compose together a
+//! > hash-map and a linked list to provide a move operation for the user"
+//!
+//! The linearization contexts are key-agnostic (a keyed remove still
+//! linearizes at one CAS and still has its element available beforehand),
+//! so keyed objects plug into the same machinery: [`move_keyed`] removes
+//! the element stored under `key` in the source and inserts it under the
+//! same key into the target, atomically.
+
+use crate::{
+    InsertCtx, InsertOutcome, LinPoint, MoveOutcome, MoveState, RemoveCtx, RemoveOutcome,
+    ScasResult,
+};
+use lfc_dcas::DescHandle;
+use lfc_hazard::pin;
+use std::marker::PhantomData;
+
+/// An object whose keyed remove is move-ready.
+pub trait KeyedMoveSource<K, T> {
+    /// Remove the element stored under `key`, linearizing through `ctx`.
+    fn remove_key_with<C: RemoveCtx<T>>(&self, key: &K, ctx: &mut C) -> RemoveOutcome<T>;
+}
+
+/// An object whose keyed insert is move-ready.
+pub trait KeyedMoveTarget<K, T> {
+    /// Insert `elem` under `key`, linearizing through `ctx`. Rejected on
+    /// duplicate keys (set semantics).
+    fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome;
+}
+
+struct KeyedRemoveCtx<'a, K, T, D: KeyedMoveTarget<K, T> + ?Sized> {
+    target: &'a D,
+    key: &'a K,
+    state: &'a mut MoveState,
+    _elem: PhantomData<fn(&T)>,
+}
+
+impl<K: Clone, T: Clone, D: KeyedMoveTarget<K, T> + ?Sized> RemoveCtx<T>
+    for KeyedRemoveCtx<'_, K, T, D>
+{
+    fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult {
+        self.state
+            .desc
+            .as_mut()
+            .expect("descriptor present until the move decides")
+            .set_first(lp.word, lp.old, lp.new, lp.hp);
+        self.state.ins_failed = true;
+        let inserted = self.target.insert_key_with(
+            self.key.clone(),
+            elem.clone(),
+            &mut crate::MoveInsertCtx {
+                state: self.state,
+            },
+        );
+        if self.state.ins_failed {
+            return ScasResult::Abort;
+        }
+        match inserted {
+            InsertOutcome::Inserted => ScasResult::Success,
+            InsertOutcome::Rejected => ScasResult::Fail,
+        }
+    }
+}
+
+/// Atomically move the element stored under `key` from `src` to `dst`
+/// (keeping its key). Returns [`MoveOutcome::SourceEmpty`] when the key is
+/// absent from the source and [`MoveOutcome::TargetRejected`] when the
+/// target already holds the key (or is full).
+pub fn move_keyed<K, T, S, D>(src: &S, key: &K, dst: &D) -> MoveOutcome
+where
+    K: Clone,
+    T: Clone,
+    S: KeyedMoveSource<K, T> + ?Sized,
+    D: KeyedMoveTarget<K, T> + ?Sized,
+{
+    let mut state = MoveState {
+        g: pin(),
+        desc: Some(DescHandle::new()),
+        ins_failed: false,
+        aliased: false,
+    };
+    let outcome = {
+        let mut ctx = KeyedRemoveCtx {
+            target: dst,
+            key,
+            state: &mut state,
+            _elem: PhantomData,
+        };
+        src.remove_key_with(key, &mut ctx)
+    };
+    match outcome {
+        RemoveOutcome::Removed(_) => MoveOutcome::Moved,
+        RemoveOutcome::Empty => MoveOutcome::SourceEmpty,
+        RemoveOutcome::Aborted => {
+            if state.aliased {
+                MoveOutcome::WouldAlias
+            } else {
+                MoveOutcome::TargetRejected
+            }
+        }
+    }
+}

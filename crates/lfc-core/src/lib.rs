@@ -1,0 +1,309 @@
+//! The composition methodology of Cederman & Tsigas: build an atomic,
+//! lock-free **move** operation out of any two *move-ready* objects' insert
+//! and remove operations by unifying their linearization points (paper §3).
+//!
+//! # How an object becomes move-ready
+//!
+//! A move-candidate object (paper Definition 1) exposes its insert and
+//! remove through [`MoveTarget::insert_with`] / [`MoveSource::remove_with`],
+//! generic over a *linearization context*, and performs three mechanical
+//! changes (Definition 2):
+//!
+//! 1. the CAS at each linearization point becomes a call to the context's
+//!    `scas`;
+//! 2. the operations abort when `scas` returns [`ScasResult::Abort`]
+//!    (freeing any allocated node);
+//! 3. every read of a word that could take part in a DCAS goes through
+//!    [`lfc_dcas::DAtomic::read`].
+//!
+//! With the [`NormalCas`] context, `scas` *is* a plain CAS, so `insert_with`
+//! / `remove_with` monomorphize back into the object's original operations
+//! (the paper keeps a runtime `desc != 0` test instead; hoisting it to the
+//! type level preserves the claim that normal operations keep their
+//! performance behaviour — validated by the `overhead` benchmark).
+//!
+//! # The move operation (paper Algorithm 3)
+//!
+//! [`move_one`] runs the source's remove; at the remove's linearization
+//! point the `MoveRemoveCtx` captures the CAS triple instead of executing
+//! it and invokes the *target's* insert with the element; at the insert's
+//! linearization point the `MoveInsertCtx` captures the second triple and
+//! commits both with a DCAS. `FIRSTFAILED` redoes both operations,
+//! `SECONDFAILED` redoes only the insert — exactly the paper's step 3.
+
+#![warn(missing_docs)]
+
+pub mod keyed;
+pub mod multi;
+
+pub use keyed::{move_keyed, KeyedMoveSource, KeyedMoveTarget};
+pub use multi::{move_to_all, MAX_TARGETS};
+
+use lfc_dcas::{DAtomic, DcasResult, DescHandle, Word};
+use lfc_hazard::{pin, Guard};
+use std::marker::PhantomData;
+
+/// What an `scas` call tells the enclosing operation to do
+/// (the paper's `fbool`: true / false / ABORT).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScasResult {
+    /// The linearization CAS took effect: finish the cleanup phase.
+    Success,
+    /// The CAS failed against concurrent activity: redo the init phase.
+    Fail,
+    /// The composed operation cannot proceed: undo and return failure.
+    Abort,
+}
+
+/// A prepared linearization point: the CAS triple the operation *would*
+/// have executed, plus the protection helpers need.
+#[derive(Debug)]
+pub struct LinPoint<'a> {
+    /// The word being CASed.
+    pub word: &'a DAtomic,
+    /// Expected value.
+    pub old: Word,
+    /// Replacement value.
+    pub new: Word,
+    /// Base address of the allocation containing `word` (a node, or the
+    /// object's heap header), adopted by DCAS helpers before they write
+    /// (paper's `hp` argument to `scas`, Lemma 6). Zero if none.
+    pub hp: usize,
+}
+
+/// Linearization context for remove operations (paper Algorithm 2, the
+/// `scas` overload that carries the element being removed).
+pub trait RemoveCtx<T> {
+    /// Called at the remove's linearization point, with the element that
+    /// will be removed if the CAS succeeds (available *before* the
+    /// linearization point — move-candidate requirement 4).
+    fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult;
+}
+
+/// Linearization context for insert operations.
+pub trait InsertCtx {
+    /// Called at the insert's linearization point.
+    fn scas(&mut self, lp: LinPoint<'_>) -> ScasResult;
+}
+
+/// The identity context: `scas` is a plain CAS (paper lines M20–M21,
+/// M38–M39). Normal operations use this.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NormalCas;
+
+impl<T> RemoveCtx<T> for NormalCas {
+    #[inline]
+    fn scas(&mut self, lp: LinPoint<'_>, _elem: &T) -> ScasResult {
+        if lp.word.cas_word(lp.old, lp.new) {
+            ScasResult::Success
+        } else {
+            ScasResult::Fail
+        }
+    }
+}
+
+impl InsertCtx for NormalCas {
+    #[inline]
+    fn scas(&mut self, lp: LinPoint<'_>) -> ScasResult {
+        if lp.word.cas_word(lp.old, lp.new) {
+            ScasResult::Success
+        } else {
+            ScasResult::Fail
+        }
+    }
+}
+
+/// Result of a (contextualized) remove.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoveOutcome<T> {
+    /// An element was removed.
+    Removed(T),
+    /// The object was empty (or the key absent).
+    Empty,
+    /// `scas` demanded an abort: the composed operation cannot complete
+    /// (e.g. the move's insert was rejected by a full target).
+    Aborted,
+}
+
+/// Result of a (contextualized) insert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The element is in.
+    Inserted,
+    /// The object rejected the element (bounded/full, duplicate key, or the
+    /// insert aborted on behalf of the composed move).
+    Rejected,
+}
+
+/// An object whose remove operation is move-ready (paper Definition 2).
+pub trait MoveSource<T> {
+    /// The object's remove, generic over the linearization context.
+    /// `remove_with(&mut NormalCas)` must behave exactly like the object's
+    /// ordinary remove operation.
+    fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T>;
+}
+
+/// An object whose insert operation is move-ready.
+pub trait MoveTarget<T> {
+    /// The object's insert, generic over the linearization context.
+    fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome;
+}
+
+/// Outcome of a composed move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveOutcome {
+    /// The element was moved atomically: no concurrent observer could see it
+    /// absent from both objects or present in both.
+    Moved,
+    /// The source had nothing to remove.
+    SourceEmpty,
+    /// The target permanently rejected the element (e.g. bounded and full).
+    TargetRejected,
+    /// The two linearization points landed on the *same* memory word (e.g.
+    /// a stack moved onto itself), which a two-word CAS cannot express.
+    WouldAlias,
+}
+
+/// Shared state of one move invocation (the paper's thread-local `desc`,
+/// `insfailed`, `ltarget` made explicit).
+pub(crate) struct MoveState {
+    pub(crate) g: Guard,
+    pub(crate) desc: Option<DescHandle>,
+    pub(crate) ins_failed: bool,
+    pub(crate) aliased: bool,
+}
+
+/// The remove-side context of a move (paper lines M9–M19).
+struct MoveRemoveCtx<'a, T, D: MoveTarget<T> + ?Sized> {
+    target: &'a D,
+    state: &'a mut MoveState,
+    _elem: PhantomData<fn(&T)>,
+}
+
+/// The insert-side context of a move (paper lines M22–M37).
+pub(crate) struct MoveInsertCtx<'a> {
+    pub(crate) state: &'a mut MoveState,
+}
+
+impl<T: Clone, D: MoveTarget<T> + ?Sized> RemoveCtx<T> for MoveRemoveCtx<'_, T, D> {
+    fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult {
+        // M10–M14: store the remove-side CAS triple in the descriptor.
+        self.state
+            .desc
+            .as_mut()
+            .expect("descriptor present until the move decides")
+            .set_first(lp.word, lp.old, lp.new, lp.hp);
+        // M15: assume the insert never reaches its linearization point.
+        self.state.ins_failed = true;
+        // M16: run the *entire* insert operation on the target, with the
+        // element the remove is about to take out.
+        let inserted = self
+            .target
+            .insert_with(elem.clone(), &mut MoveInsertCtx { state: self.state });
+        // M17–M18: the insert failed before attempting the DCAS — the move
+        // cannot complete; abort the remove.
+        if self.state.ins_failed {
+            return ScasResult::Abort;
+        }
+        // M19: otherwise the DCAS ran. Inserted means it succeeded (and so
+        // did our remove); Rejected means FIRSTFAILED: our captured CAS is
+        // stale, the insert aborted, and the remove must redo its init phase.
+        match inserted {
+            InsertOutcome::Inserted => ScasResult::Success,
+            InsertOutcome::Rejected => ScasResult::Fail,
+        }
+    }
+}
+
+impl InsertCtx for MoveInsertCtx<'_> {
+    fn scas(&mut self, lp: LinPoint<'_>) -> ScasResult {
+        let mut desc = self
+            .state
+            .desc
+            .take()
+            .expect("descriptor present until the move decides");
+        // A DCAS on a single word cannot succeed; report the aliasing
+        // instead of retrying forever (see `MoveOutcome::WouldAlias`).
+        if lp.word as *const DAtomic as usize == desc.first_word_addr() {
+            self.state.desc = Some(desc);
+            self.state.aliased = true;
+            return ScasResult::Abort;
+        }
+        // M24–M27: store the insert-side triple; M28: run the DCAS.
+        desc.set_second(lp.word, lp.old, lp.new, lp.hp);
+        let (result, next) = desc.commit(&self.state.g);
+        // M29–M31: a failed DCAS was published; `commit` already produced a
+        // fresh descriptor (carrying the first triple) for the next attempt.
+        self.state.desc = next;
+        // M32: the DCAS ran, so the insert did reach its linearization point.
+        self.state.ins_failed = false;
+        match result {
+            // M33–M34: the *remove's* CAS failed: abort the insert so the
+            // remove can redo its init phase.
+            DcasResult::FirstFailed => ScasResult::Abort,
+            // M35–M36: the insert's CAS failed: redo the insert init phase.
+            DcasResult::SecondFailed => ScasResult::Fail,
+            DcasResult::Success => ScasResult::Success,
+        }
+    }
+}
+
+/// Atomically move one element from `src` to `dst` (paper Algorithm 3).
+///
+/// Lock-free and linearizable when `src` and `dst` are lock-free move-ready
+/// objects (paper Theorem 2): the element is never observable in both
+/// objects, nor absent from both, at any point in time.
+///
+/// The element type must be `Clone`: the value is read (cloned) from the
+/// source *before* the unified linearization point — move-candidate
+/// requirement 4 — and materialized in the target's freshly allocated node.
+pub fn move_one<T, S, D>(src: &S, dst: &D) -> MoveOutcome
+where
+    T: Clone,
+    S: MoveSource<T> + ?Sized,
+    D: MoveTarget<T> + ?Sized,
+{
+    let mut state = MoveState {
+        g: pin(),
+        desc: Some(DescHandle::new()),
+        ins_failed: false,
+        aliased: false,
+    };
+    let outcome = {
+        let mut ctx = MoveRemoveCtx {
+            target: dst,
+            state: &mut state,
+            _elem: PhantomData,
+        };
+        src.remove_with(&mut ctx)
+    };
+    match outcome {
+        RemoveOutcome::Removed(_moved_clone) => MoveOutcome::Moved,
+        RemoveOutcome::Empty => MoveOutcome::SourceEmpty,
+        RemoveOutcome::Aborted => {
+            if state.aliased {
+                MoveOutcome::WouldAlias
+            } else {
+                MoveOutcome::TargetRejected
+            }
+        }
+    }
+}
+
+impl<T, S: MoveSource<T>> MoveSource<T> for &S {
+    fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
+        (**self).remove_with(ctx)
+    }
+}
+
+impl<T, D: MoveTarget<T>> MoveTarget<T> for &D {
+    fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+        (**self).insert_with(elem, ctx)
+    }
+}
+
+#[allow(dead_code)]
+fn assert_traits() {
+    fn is_send_sync<X: Send + Sync>() {}
+    is_send_sync::<NormalCas>();
+}

@@ -1,0 +1,137 @@
+//! `DAtomic`: a DCAS-capable atomic word, and the paper's `read` operation
+//! (Algorithm 4, lines D32–D39).
+//!
+//! Any memory word that can become the target of a composed linearization
+//! point must be declared as a [`DAtomic`] and *every* read of it must go
+//! through [`DAtomic::read`] (move-ready definition, requirement 3): a
+//! reader that finds a descriptor must help the in-flight operation finish
+//! before it can observe a raw value.
+
+use crate::dcas;
+use crate::word::{self, Word};
+use lfc_hazard::{slot, Guard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A machine word that may transiently hold an operation descriptor.
+///
+/// # Safety contract (internal)
+///
+/// The allocation containing a `DAtomic` must stay live while any thread can
+/// reach it: structure headers and nodes are reclaimed exclusively through
+/// `lfc-hazard`, and callers of [`DAtomic::read`] must already protect the
+/// containing allocation (own it, borrow the structure, or hold a hazard on
+/// the node) — the same discipline the paper's objects follow.
+#[derive(Debug)]
+pub struct DAtomic(AtomicUsize);
+
+impl DAtomic {
+    /// New word holding the raw value `raw`.
+    pub const fn new(raw: Word) -> Self {
+        DAtomic(AtomicUsize::new(raw))
+    }
+
+    /// Plain load. May expose an in-flight descriptor; use [`DAtomic::read`]
+    /// unless you are the protocol itself.
+    #[inline]
+    pub fn load_word(&self) -> Word {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Single-word CAS, returning success.
+    #[inline]
+    pub fn cas_word(&self, old: Word, new: Word) -> bool {
+        self.0
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Single-word CAS reporting the value seen on failure.
+    #[inline]
+    pub fn cas_val(&self, old: Word, new: Word) -> Result<(), Word> {
+        self.0
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .map(|_| ())
+    }
+
+    /// Unsynchronized-looking store for initialization paths where the word
+    /// is not yet (or no longer) shared.
+    #[inline]
+    pub fn store_word(&self, w: Word) {
+        self.0.store(w, Ordering::SeqCst);
+    }
+
+    /// The paper's `read` operation: returns a raw value, helping any
+    /// descriptor found in the word to completion first.
+    ///
+    /// The descriptor is protected with the thread's [`slot::DESC`] hazard
+    /// and validated by re-reading the word (lines D34–D37) before helping,
+    /// which makes it safe to help operations whose initiator has already
+    /// returned and retired the descriptor: in that case the validation
+    /// fails, because stale descriptor words are always removed before the
+    /// protecting hazard of their installer is released (see `dcas`).
+    #[inline]
+    pub fn read(&self, g: &Guard) -> Word {
+        let w = self.0.load(Ordering::SeqCst);
+        if word::is_raw(w) {
+            return w;
+        }
+        self.read_slow(g)
+    }
+
+    #[cold]
+    fn read_slow(&self, g: &Guard) -> Word {
+        loop {
+            let w = self.0.load(Ordering::SeqCst);
+            match word::kind(w) {
+                word::KIND_RAW => return w,
+                word::KIND_DCAS => {
+                    g.set(slot::DESC, word::desc_addr(w));
+                    if self.0.load(Ordering::SeqCst) == w {
+                        // Safety: the descriptor is hazard-protected and was
+                        // re-validated to still be installed.
+                        unsafe { dcas::help(w, g) };
+                    }
+                    g.clear(slot::DESC);
+                }
+                _ => {
+                    // CASN / RDCSS descriptors (n-object move extension).
+                    g.set(slot::DESC, word::desc_addr(w));
+                    if self.0.load(Ordering::SeqCst) == w {
+                        // Safety: as above.
+                        unsafe { crate::kcas::help_word(w, self, g) };
+                    }
+                    g.clear(slot::DESC);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfc_hazard::pin;
+
+    #[test]
+    fn read_of_raw_value_is_plain() {
+        let g = pin();
+        let a = DAtomic::new(0x1000);
+        assert_eq!(a.read(&g), 0x1000);
+        assert_eq!(a.load_word(), 0x1000);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let a = DAtomic::new(8);
+        assert!(a.cas_word(8, 16));
+        assert!(!a.cas_word(8, 24));
+        assert_eq!(a.load_word(), 16);
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let a = DAtomic::new(0);
+        a.store_word(64);
+        assert_eq!(a.load_word(), 64);
+    }
+}

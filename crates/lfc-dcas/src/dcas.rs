@@ -1,0 +1,492 @@
+//! The software DCAS of paper §3.2.2 / Algorithm 4.
+//!
+//! A DCAS attempt allocates a [`DcasDesc`], fills in the two CAS triples
+//! captured at the composed linearization points, and *announces* the
+//! operation by CASing `*ptr1` from `old1` to an unmarked descriptor word
+//! (line D10). Helpers — threads whose `read` found the descriptor — then
+//! race to install a thread-id-*marked* descriptor word at `*ptr2`
+//! (lines D13–D14); the first marked word recorded in the descriptor's `res`
+//! field (line D24) is the *winner*, and `*ptr2` is swung from exactly that
+//! winner to `new2` (line D29), which makes the swing happen exactly once
+//! even when delayed helpers re-install marked words after an ABA of `old2`
+//! (the problem the paper's Lemma 3 discusses).
+//!
+//! Differences from Harris et al.'s MCAS that the paper claims, all present
+//! here: the result reports *which* word failed, no RDCSS descriptor is
+//! needed, hazard pointers are supported (the `hp1`/`hp2` fields are adopted
+//! by helpers at lines D2–D3), and the uncontended case uses fewer CASes.
+//!
+//! # `res` state machine (tested below)
+//!
+//! ```text
+//! UNDECIDED ──► SECONDFAILED                      (line D17)
+//! UNDECIDED ──► winner marked word ──► SUCCESS    (lines D24, D30)
+//! ```
+//!
+//! `SUCCESS` is only ever stored after both `*ptr1 → new1` and
+//! `*ptr2 → new2` have happened, and a FIRSTFAILED/SECONDFAILED outcome
+//! guarantees neither word was left changed by this DCAS (Lemmata 3–4).
+
+use crate::atomic::DAtomic;
+use crate::word::{self, Word};
+use lfc_hazard::{slot, Guard};
+use std::alloc::Layout;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `res`: operation not yet decided.
+const RES_UNDECIDED: usize = 0;
+/// `res`: the second word did not match `old2`.
+const RES_SECONDFAILED: usize = 1;
+/// `res`: both words matched and have been swung to their new values.
+const RES_SUCCESS: usize = 2;
+
+/// Outcome of a DCAS, reporting which comparison failed (a capability the
+/// paper adds over Harris et al.; the move operation uses it to decide
+/// whether to redo only the insert or both operations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DcasResult {
+    /// Both words were swung atomically.
+    Success,
+    /// `*ptr1 != old1`; nothing was changed (only reported to the initiator).
+    FirstFailed,
+    /// `*ptr2 != old2`; nothing was left changed.
+    SecondFailed,
+}
+
+/// The DCAS descriptor (paper Algorithm 1's `DCASDesc`).
+///
+/// All fields except `res` are written only while the descriptor is
+/// unpublished (uniquely owned) and are immutable once the announcing CAS
+/// publishes it, so helpers may read them through a shared reference.
+#[repr(align(512))]
+pub struct DcasDesc {
+    ptr1: *const DAtomic,
+    old1: Word,
+    new1: Word,
+    /// Base address of the allocation containing `*ptr1`, adopted by helpers
+    /// (paper's `hp1`). Zero when no protection is required.
+    hp1: usize,
+    ptr2: *const DAtomic,
+    old2: Word,
+    new2: Word,
+    /// As `hp1`, for `*ptr2`.
+    hp2: usize,
+    res: AtomicUsize,
+}
+
+// Safety: helpers on other threads read the immutable fields and CAS `res`;
+// the raw pointers target `DAtomic`s whose allocations the protocol keeps
+// alive (hazard adoption, lines D2–D3).
+unsafe impl Send for DcasDesc {}
+unsafe impl Sync for DcasDesc {}
+
+const DESC_LAYOUT: Layout = Layout::new::<DcasDesc>();
+
+unsafe fn reclaim_desc(p: *mut u8) {
+    // DcasDesc has no drop glue; just return the block to the pool.
+    unsafe { lfc_alloc::free_block(p, DESC_LAYOUT) };
+}
+
+/// Uniquely owned, unpublished descriptor.
+///
+/// The handle encodes the publication protocol in its API: `commit`
+/// publishes and runs the DCAS as the initiator, consuming the handle and
+/// retiring the descriptor if it became visible to helpers.
+pub struct DescHandle {
+    desc: NonNull<DcasDesc>,
+}
+
+impl std::fmt::Debug for DescHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DescHandle")
+            .field("addr", &self.desc.as_ptr())
+            .finish()
+    }
+}
+
+impl DescHandle {
+    /// Allocate a fresh descriptor (pool-backed, 512-aligned).
+    pub fn new() -> Self {
+        let block = lfc_alloc::alloc_block(DESC_LAYOUT).cast::<DcasDesc>();
+        // Safety: freshly allocated, properly aligned and sized.
+        unsafe {
+            block.as_ptr().write(DcasDesc {
+                ptr1: std::ptr::null(),
+                old1: 0,
+                new1: 0,
+                hp1: 0,
+                ptr2: std::ptr::null(),
+                old2: 0,
+                new2: 0,
+                hp2: 0,
+                res: AtomicUsize::new(RES_UNDECIDED),
+            });
+        }
+        DescHandle { desc: block }
+    }
+
+    fn desc(&self) -> &DcasDesc {
+        // Safety: uniquely owned and initialized.
+        unsafe { self.desc.as_ref() }
+    }
+
+    fn desc_mut(&mut self) -> &mut DcasDesc {
+        // Safety: unpublished handles are uniquely owned.
+        unsafe { self.desc.as_mut() }
+    }
+
+    /// Record the first (remove-side) CAS triple. `hp1` is the base address
+    /// of the allocation containing `*ptr1` (0 if none is needed).
+    pub fn set_first(&mut self, ptr1: &DAtomic, old1: Word, new1: Word, hp1: usize) {
+        let d = self.desc_mut();
+        d.ptr1 = ptr1;
+        d.old1 = old1;
+        d.new1 = new1;
+        d.hp1 = hp1;
+    }
+
+    /// Record the second (insert-side) CAS triple.
+    pub fn set_second(&mut self, ptr2: &DAtomic, old2: Word, new2: Word, hp2: usize) {
+        let d = self.desc_mut();
+        d.ptr2 = ptr2;
+        d.old2 = old2;
+        d.new2 = new2;
+        d.hp2 = hp2;
+    }
+
+    /// Address of the first word, for alias detection (a DCAS whose two
+    /// words coincide can never succeed — e.g. a stack moved onto itself).
+    pub fn first_word_addr(&self) -> usize {
+        self.desc().ptr1 as usize
+    }
+
+    /// Publish the descriptor and run the DCAS as the initiating process.
+    ///
+    /// Returns the result plus a handle for the next attempt: the same
+    /// (never-published) descriptor after `FirstFailed`, a fresh copy
+    /// carrying the first-side triple after `SecondFailed` (paper line M30,
+    /// `new DCASDesc(desc)`), and `None` after `Success`.
+    pub fn commit(self, g: &Guard) -> (DcasResult, Option<DescHandle>) {
+        let addr = self.desc.as_ptr() as usize;
+        debug_assert_eq!(
+            self.desc().res.load(Ordering::Relaxed),
+            RES_UNDECIDED,
+            "descriptor reuse after publication"
+        );
+        debug_assert!(!self.desc().ptr1.is_null() && !self.desc().ptr2.is_null());
+        // Safety: we own the descriptor; `dcas_run` publishes it.
+        let result = unsafe { dcas_run(word::dcas_plain(addr), true, g) };
+        match result {
+            DcasResult::FirstFailed => {
+                // Announcement failed: never published, safe to reuse.
+                (result, Some(self))
+            }
+            DcasResult::SecondFailed => {
+                // Published (helpers may hold it): retire, hand back a fresh
+                // copy of the first-side triple for the insert retry.
+                let mut fresh = DescHandle::new();
+                {
+                    let d = self.desc();
+                    let f = fresh.desc_mut();
+                    f.ptr1 = d.ptr1;
+                    f.old1 = d.old1;
+                    f.new1 = d.new1;
+                    f.hp1 = d.hp1;
+                }
+                self.retire();
+                (result, Some(fresh))
+            }
+            DcasResult::Success => {
+                self.retire();
+                (result, None)
+            }
+        }
+    }
+
+    /// Retire the (published) descriptor through the hazard domain.
+    fn retire(self) {
+        let p = self.desc.as_ptr() as *mut u8;
+        std::mem::forget(self);
+        // Safety: decided descriptors are unreachable except through stale
+        // marked words, whose readers fail hazard validation (module docs).
+        unsafe { lfc_hazard::retire(p, reclaim_desc) };
+    }
+}
+
+impl Drop for DescHandle {
+    fn drop(&mut self) {
+        // Unpublished handle dropped without commit (e.g. move aborted in
+        // the remove init-phase): no helper can know it, free directly.
+        // Safety: uniquely owned.
+        unsafe { reclaim_desc(self.desc.as_ptr() as *mut u8) };
+    }
+}
+
+impl Default for DescHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Diagnostic counters (Relaxed; used by the false-helping ablation bench).
+pub mod counters {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub(crate) static HELP_RUNS: AtomicUsize = AtomicUsize::new(0);
+    pub(crate) static STALE_MARK_REVERTS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Number of helper invocations of the DCAS (each is a `read` that found
+    /// a descriptor and joined the protocol).
+    pub fn help_runs() -> usize {
+        HELP_RUNS.load(Ordering::Relaxed)
+    }
+
+    /// Number of marked-descriptor installations that had to be reverted —
+    /// each one is a *false helping* episode caused by the ABA the paper's
+    /// §7 discussion attributes to the stack.
+    pub fn stale_mark_reverts() -> usize {
+        STALE_MARK_REVERTS.load(Ordering::Relaxed)
+    }
+}
+
+/// Help a published DCAS found in a word (non-initiator entry point).
+///
+/// # Safety
+///
+/// `desc_word` must reference a descriptor currently protected by the
+/// caller's [`slot::DESC`] hazard and validated as still installed.
+pub(crate) unsafe fn help(desc_word: Word, g: &Guard) {
+    counters::HELP_RUNS.fetch_add(1, Ordering::Relaxed);
+    // Safety: forwarded contract.
+    let _ = unsafe { dcas_run(desc_word, false, g) };
+}
+
+fn decode(res: usize) -> DcasResult {
+    match res {
+        RES_SUCCESS => DcasResult::Success,
+        RES_SECONDFAILED => DcasResult::SecondFailed,
+        other => unreachable!("undecided res {other} treated as decided"),
+    }
+}
+
+/// The DCAS protocol, lines D1–D31.
+///
+/// # Safety
+///
+/// The descriptor referenced by `desc_word` must be kept alive for the
+/// duration of the call: by ownership for the initiator, by the `DESC`
+/// hazard for helpers. Helpers must additionally have validated that the
+/// word they came through still held `desc_word` after protecting it.
+pub unsafe fn dcas_run(desc_word: Word, initiator: bool, g: &Guard) -> DcasResult {
+    let addr = word::desc_addr(desc_word);
+    // Safety: per the function contract the descriptor is alive.
+    let desc = unsafe { &*(addr as *const DcasDesc) };
+
+    if !initiator {
+        // D2–D3: adopt the initiator's protections of the two target
+        // allocations before touching `*ptr1` / `*ptr2`. If `res` is still
+        // undecided below, the initiator is still inside its operation and
+        // its own hazards covered these allocations while we published ours
+        // (paper Lemma 6); otherwise we only write through the word we were
+        // validated to have come through, whose allocation our caller
+        // already protects.
+        g.set(slot::HELP1, desc.hp1);
+        g.set(slot::HELP2, desc.hp2);
+    }
+    let result = dcas_body(desc, desc_word, initiator, g);
+    if !initiator {
+        g.clear(slot::HELP1);
+        g.clear(slot::HELP2);
+    }
+    result
+}
+
+fn dcas_body(desc: &DcasDesc, desc_word: Word, initiator: bool, g: &Guard) -> DcasResult {
+    let addr = word::desc_addr(desc_word);
+    let plain = word::dcas_plain(addr);
+    // Safety: target words' allocations are protected per `dcas_run`'s
+    // contract (initiator's operation hazards / adopted hazards above).
+    let ptr1 = unsafe { &*desc.ptr1 };
+    let ptr2 = unsafe { &*desc.ptr2 };
+
+    // D4–D9: already decided — fix up the word we came through and return.
+    let r0 = desc.res.load(Ordering::SeqCst);
+    if r0 == RES_SUCCESS || r0 == RES_SECONDFAILED {
+        finish_decided(desc, desc_word, plain, r0, ptr1, ptr2);
+        return decode(r0);
+    }
+
+    // D10–D11: the initiator announces the operation.
+    if initiator && !ptr1.cas_word(desc.old1, plain) {
+        return DcasResult::FirstFailed;
+    }
+
+    // D13–D14: try to install our marked descriptor at the second word.
+    let my_mark = word::dcas_marked(addr, g.tid());
+    let p2set = ptr2.cas_word(desc.old2, my_mark);
+
+    // Choose the marked word to promote as winner: ours if we installed it;
+    // otherwise, if some marked form of this descriptor is installed, that
+    // one (this is the D15–D16 re-check: `*ptr2` still refers to `desc`).
+    let installed = if p2set {
+        my_mark
+    } else {
+        let cur = ptr2.load_word();
+        if word::is_marked_dcas(cur) && word::desc_addr(cur) == addr {
+            cur
+        } else {
+            // D17: genuine mismatch — try to decide SECONDFAILED.
+            let _ = desc.res.compare_exchange(
+                RES_UNDECIDED,
+                RES_SECONDFAILED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            let r = desc.res.load(Ordering::SeqCst);
+            if r == RES_SUCCESS {
+                return DcasResult::Success; // D18–D19
+            }
+            if r == RES_SECONDFAILED {
+                // D20–D22: revert the announcement.
+                ptr1.cas_word(plain, desc.old1);
+                return DcasResult::SecondFailed;
+            }
+            // A winner was recorded concurrently; help complete with it.
+            r
+        }
+    };
+
+    // D24: promote the installed marked word. While `res` is undecided the
+    // second word cannot change (all competing CASes expect `old2`), so a
+    // successful promotion certifies `installed` is in place.
+    let _ = desc.res.compare_exchange(
+        RES_UNDECIDED,
+        installed,
+        Ordering::SeqCst,
+        Ordering::SeqCst,
+    );
+    let r = desc.res.load(Ordering::SeqCst);
+
+    if r == RES_SECONDFAILED {
+        // D25–D27: decision went against us; undo our installation (if any)
+        // and make sure the announcement is reverted.
+        if p2set && ptr2.cas_word(my_mark, desc.old2) {
+            counters::STALE_MARK_REVERTS.fetch_add(1, Ordering::Relaxed);
+        }
+        ptr1.cas_word(plain, desc.old1);
+        return DcasResult::SecondFailed;
+    }
+    if r == RES_SUCCESS {
+        // Completed by other processes. If we installed a marked word it is
+        // a stale ABA leftover (the winner's word was consumed before
+        // SUCCESS was stored): revert it.
+        if p2set && ptr2.cas_word(my_mark, desc.old2) {
+            counters::STALE_MARK_REVERTS.fetch_add(1, Ordering::Relaxed);
+        }
+        return DcasResult::Success;
+    }
+
+    debug_assert!(word::is_marked_dcas(r) && word::desc_addr(r) == addr);
+    let winner = r;
+    if p2set && my_mark != winner {
+        // We installed but lost the promotion race ("will have to change it
+        // back to its old value", Lemma 3).
+        if ptr2.cas_word(my_mark, desc.old2) {
+            counters::STALE_MARK_REVERTS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // D28–D30: complete. `*ptr1` swings from the announcement to `new1`
+    // exactly once; `*ptr2` swings from exactly the winner to `new2` exactly
+    // once; only then is SUCCESS published.
+    ptr1.cas_word(plain, desc.new1);
+    ptr2.cas_word(winner, desc.new2);
+    let _ = desc
+        .res
+        .compare_exchange(winner, RES_SUCCESS, Ordering::SeqCst, Ordering::SeqCst);
+    DcasResult::Success
+}
+
+/// Lines D5–D8: the operation is decided but the word we came through still
+/// held a descriptor — clean it up so readers can make progress.
+fn finish_decided(
+    desc: &DcasDesc,
+    desc_word: Word,
+    plain: Word,
+    res: usize,
+    ptr1: &DAtomic,
+    ptr2: &DAtomic,
+) {
+    if word::is_marked_dcas(desc_word) {
+        // Came through `*ptr2` holding a stale marked word (on SUCCESS the
+        // winner was consumed before SUCCESS was stored, so whatever is
+        // still installed is an ABA leftover; on SECONDFAILED every
+        // installation is stale): revert it.
+        if ptr2.cas_word(desc_word, desc.old2) {
+            counters::STALE_MARK_REVERTS.fetch_add(1, Ordering::Relaxed);
+        }
+    } else if res == RES_SECONDFAILED {
+        // Came through `*ptr1`: only a failed pair leaves the announcement
+        // to revert (on SUCCESS `*ptr1` already holds `new1`).
+        ptr1.cas_word(plain, desc.old1);
+    }
+}
+
+/// Test-support hooks exposing protocol internals so the suite can exercise
+/// helper paths with a deterministically stalled initiator.
+#[doc(hidden)]
+pub mod test_support {
+    use super::*;
+
+    /// Announce `handle` (line D10 only) and "stall": returns the plain
+    /// descriptor word now installed at `*ptr1`, or gives the handle back if
+    /// the announcement failed. The caller takes over the initiator's
+    /// responsibility to eventually run/finish and retire the descriptor.
+    pub fn announce_only(handle: DescHandle) -> Result<Word, DescHandle> {
+        let addr = handle.desc.as_ptr() as usize;
+        let plain = word::dcas_plain(addr);
+        let d = handle.desc();
+        // Safety: handle owns the descriptor; ptr1 was set by the test.
+        let ptr1 = unsafe { &*d.ptr1 };
+        if ptr1.cas_word(d.old1, plain) {
+            std::mem::forget(handle);
+            Ok(plain)
+        } else {
+            Err(handle)
+        }
+    }
+
+    /// Run the protocol for a previously announced descriptor as if the
+    /// stalled initiator resumed.
+    ///
+    /// # Safety
+    ///
+    /// `desc_word` must come from [`announce_only`] and the descriptor must
+    /// not have been finished+retired yet.
+    pub unsafe fn resume(desc_word: Word, g: &Guard) -> DcasResult {
+        // Resuming initiator: already announced, so run as a helper but
+        // translate the result for the caller.
+        unsafe { dcas_run(desc_word, false, g) }
+    }
+
+    /// Retire a descriptor obtained from [`announce_only`] once decided.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once, after the DCAS is decided.
+    pub unsafe fn retire_announced(desc_word: Word) {
+        let p = word::desc_addr(desc_word) as *mut u8;
+        // Safety: forwarded contract.
+        unsafe { lfc_hazard::retire(p, reclaim_desc) };
+    }
+
+    /// Current `res` state, decoded loosely for assertions.
+    ///
+    /// # Safety
+    ///
+    /// Descriptor must still be alive.
+    pub unsafe fn res_state(desc_word: Word) -> usize {
+        let desc = unsafe { &*(word::desc_addr(desc_word) as *const DcasDesc) };
+        desc.res.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,601 @@
+//! CASN — n-word compare-and-swap — for the paper's n-object move extension:
+//!
+//! > "Our methodology can also be easily extended to support n operations on
+//! > n distinct objects, for example to create functions that remove an item
+//! > from one object and insert it into n others atomically." (§8)
+//!
+//! The construction follows Harris, Fraser & Pratt's *A Practical Multi-word
+//! Compare-and-Swap Operation* (the paper's reference \[9\]): phase 1 installs the CASN
+//! descriptor into each target word with RDCSS (a restricted double-compare
+//! single-swap conditioned on the operation still being undecided), phase 2
+//! decides and swings every word to its new (or old) value.
+//!
+//! Two deliberate deviations, both in the spirit of the paper's own DCAS:
+//!
+//! * **Failure reporting**: the status records *which* entry failed, so the
+//!   multi-move can redo only the operations from that entry onward (the
+//!   generalization of FIRSTFAILED/SECONDFAILED).
+//! * **Depth-1 helping**: an executor that finds a *foreign* descriptor in a
+//!   target word fails its own attempt (the foreign operation has made
+//!   progress, so lock-freedom is preserved) instead of helping recursively;
+//!   foreign descriptors are helped through the `read` operation, whose
+//!   hazard discipline is sound at depth one. Unbounded recursive helping
+//!   cannot be combined with a fixed per-thread hazard-slot bank.
+//!
+//! # Memory safety (hazard discipline)
+//!
+//! * Executors reach a CASN descriptor either as its owner or through
+//!   `read`, which protects it in [`slot::DESC`] and validates.
+//! * Before touching any target word, a helper adopts every entry's `hp`
+//!   (the allocation containing the word) into the `KCAS*` slots and then
+//!   checks the status is still undecided — while undecided, the initiating
+//!   move still borrows all target objects, so the allocations were alive
+//!   when the slots were published (the paper's Lemma 6, generalized). If
+//!   the status is already decided, the helper only fixes the single word it
+//!   came through, whose allocation its caller protects.
+//! * An RDCSS descriptor found in a word implies its installer is still
+//!   mid-operation and therefore still holds a hazard (or ownership) of the
+//!   CASN descriptor it references, so reading `status` through it is safe
+//!   once the RDCSS descriptor itself is protected and validated.
+
+use crate::atomic::DAtomic;
+use crate::word::{self, Word};
+use lfc_hazard::{slot, Guard};
+use std::alloc::Layout;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maximum entries in one CASN (1 remove + up to 5 insert targets). Bounded
+/// by the per-thread `KCAS*` hazard slots.
+pub const MAX_ENTRIES: usize = 6;
+
+const ST_UNDECIDED: usize = 0;
+const ST_SUCCEEDED: usize = 1;
+const ST_FAILED_BASE: usize = 2;
+
+/// Outcome of a CASN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CasnResult {
+    /// All words matched and were swung atomically.
+    Success,
+    /// Entry `i` did not match `old_i` (or was busy with a foreign
+    /// operation); nothing was left changed.
+    FailedAt(usize),
+}
+
+/// One CAS triple plus the helper protection for its word.
+#[derive(Clone, Copy, Debug)]
+pub struct CasnEntry {
+    /// Target word.
+    pub ptr: *const DAtomic,
+    /// Expected value.
+    pub old: Word,
+    /// Replacement value.
+    pub new: Word,
+    /// Base address of the allocation containing the word (0 = none).
+    pub hp: usize,
+}
+
+impl Default for CasnEntry {
+    fn default() -> Self {
+        CasnEntry {
+            ptr: std::ptr::null(),
+            old: 0,
+            new: 0,
+            hp: 0,
+        }
+    }
+}
+
+/// The CASN descriptor. Entries are immutable once published (announced via
+/// the first RDCSS); only `status` is written concurrently.
+#[repr(align(512))]
+pub struct CasnDesc {
+    entries: [CasnEntry; MAX_ENTRIES],
+    count: usize,
+    status: AtomicUsize,
+}
+
+// Safety: shared with helpers; see module docs for the hazard discipline.
+unsafe impl Send for CasnDesc {}
+unsafe impl Sync for CasnDesc {}
+
+const CASN_LAYOUT: Layout = Layout::new::<CasnDesc>();
+
+unsafe fn reclaim_casn(p: *mut u8) {
+    unsafe { lfc_alloc::free_block(p, CASN_LAYOUT) };
+}
+
+/// RDCSS descriptor: install `casn_word` at `word` iff `*status` is still
+/// undecided and `*word == old`.
+#[repr(align(512))]
+struct RdcssDesc {
+    status: *const AtomicUsize,
+    word: *const DAtomic,
+    old: Word,
+    casn_word: Word,
+}
+
+unsafe impl Send for RdcssDesc {}
+unsafe impl Sync for RdcssDesc {}
+
+const RDCSS_LAYOUT: Layout = Layout::new::<RdcssDesc>();
+
+unsafe fn reclaim_rdcss(p: *mut u8) {
+    unsafe { lfc_alloc::free_block(p, RDCSS_LAYOUT) };
+}
+
+/// Uniquely owned, unpublished CASN descriptor.
+pub struct CasnHandle {
+    desc: NonNull<CasnDesc>,
+}
+
+impl std::fmt::Debug for CasnHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CasnHandle")
+            .field("addr", &self.desc.as_ptr())
+            .finish()
+    }
+}
+
+impl CasnHandle {
+    /// Allocate an empty descriptor.
+    pub fn new() -> Self {
+        let block = lfc_alloc::alloc_block(CASN_LAYOUT).cast::<CasnDesc>();
+        // Safety: fresh block.
+        unsafe {
+            block.as_ptr().write(CasnDesc {
+                entries: [CasnEntry::default(); MAX_ENTRIES],
+                count: 0,
+                status: AtomicUsize::new(ST_UNDECIDED),
+            });
+        }
+        CasnHandle { desc: block }
+    }
+
+    fn desc(&self) -> &CasnDesc {
+        // Safety: owned and initialized.
+        unsafe { self.desc.as_ref() }
+    }
+
+    fn desc_mut(&mut self) -> &mut CasnDesc {
+        // Safety: unpublished, uniquely owned.
+        unsafe { self.desc.as_mut() }
+    }
+
+    /// Number of entries recorded so far.
+    pub fn count(&self) -> usize {
+        self.desc().count
+    }
+
+    /// Record entry `i` (must be `count()`); entries need not be sorted.
+    pub fn set_entry(&mut self, idx: usize, ptr: &DAtomic, old: Word, new: Word, hp: usize) {
+        assert!(idx < MAX_ENTRIES, "CASN supports at most {MAX_ENTRIES} entries");
+        let d = self.desc_mut();
+        d.entries[idx] = CasnEntry {
+            ptr,
+            old,
+            new,
+            hp,
+        };
+        d.count = d.count.max(idx + 1);
+    }
+
+    /// Truncate to `n` entries (multi-move reuses a handle across retries).
+    pub fn truncate(&mut self, n: usize) {
+        self.desc_mut().count = n;
+    }
+
+    /// Whether any recorded entry word aliases `ptr`.
+    pub fn aliases(&self, ptr: &DAtomic) -> bool {
+        let d = self.desc();
+        d.entries[..d.count]
+            .iter()
+            .any(|e| std::ptr::eq(e.ptr, ptr as *const DAtomic))
+    }
+
+    /// Publish and run the CASN as its initiator. Consumes the handle;
+    /// returns the result and — on failure — a fresh handle pre-loaded with
+    /// the entries *before* the failing index (whose captures remain valid
+    /// at the protocol level for the multi-move's partial retry).
+    pub fn commit(self, g: &Guard) -> (CasnResult, Option<CasnHandle>) {
+        let addr = self.desc.as_ptr() as usize;
+        let d = self.desc();
+        debug_assert!(d.count >= 2, "a CASN of fewer than 2 words is a CAS");
+        debug_assert_eq!(d.status.load(Ordering::Relaxed), ST_UNDECIDED);
+        let result = casn_execute(d, word::casn_word(addr), g, true);
+        match result {
+            CasnResult::Success => {
+                self.retire();
+                (result, None)
+            }
+            CasnResult::FailedAt(k) => {
+                let mut fresh = CasnHandle::new();
+                {
+                    let src = self.desc();
+                    let dst = fresh.desc_mut();
+                    dst.entries = src.entries;
+                    dst.count = k.min(src.count);
+                }
+                self.retire();
+                (result, Some(fresh))
+            }
+        }
+    }
+
+    fn retire(self) {
+        let p = self.desc.as_ptr() as *mut u8;
+        std::mem::forget(self);
+        // Safety: decided; stale references are resolved before their
+        // holders' hazards clear (module docs).
+        unsafe { lfc_hazard::retire(p, reclaim_casn) };
+    }
+}
+
+impl Default for CasnHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for CasnHandle {
+    fn drop(&mut self) {
+        // Unpublished: a descriptor only becomes visible through commit.
+        unsafe { reclaim_casn(self.desc.as_ptr() as *mut u8) };
+    }
+}
+
+/// RDCSS after Harris et al.: returns the value seen at `word` (== `old`
+/// means the conditional install succeeded or the operation was already
+/// decided-and-reverted consistently).
+fn rdcss(desc_word: Word, g: &Guard) -> Word {
+    // Safety: caller owns the rdcss descriptor (freshly allocated below).
+    let d = unsafe { &*(word::desc_addr(desc_word) as *const RdcssDesc) };
+    // Safety: `word` allocations are protected by the executor (entry hp
+    // adopted / owned).
+    let target = unsafe { &*d.word };
+    loop {
+        match target.cas_val(d.old, desc_word) {
+            Ok(()) => {
+                rdcss_complete(d, desc_word);
+                return d.old;
+            }
+            Err(seen) => {
+                if word::kind(seen) == word::KIND_RDCSS {
+                    // Some installer is mid-flight; its hazard pins both
+                    // descriptors. Protect + validate, complete it, retry.
+                    g.set(slot::KCAS0 + slot::KCAS_COUNT - 1, word::desc_addr(seen));
+                    if target.load_word() == seen {
+                        // Safety: protected + validated.
+                        let other = unsafe { &*(word::desc_addr(seen) as *const RdcssDesc) };
+                        rdcss_complete(other, seen);
+                    }
+                    g.clear(slot::KCAS0 + slot::KCAS_COUNT - 1);
+                    continue;
+                }
+                return seen;
+            }
+        }
+    }
+}
+
+fn rdcss_complete(d: &RdcssDesc, desc_word: Word) {
+    // Safety: status points into a CASN descriptor pinned by the RDCSS
+    // installer's hazard (module docs).
+    let undecided = unsafe { (*d.status).load(Ordering::SeqCst) } == ST_UNDECIDED;
+    let new = if undecided { d.casn_word } else { d.old };
+    // Safety: the target word's allocation is protected by whoever reached
+    // this descriptor (installer: entry hp; helper: the word it came
+    // through).
+    let _ = unsafe { &*d.word }.cas_word(desc_word, new);
+}
+
+/// Execute the CASN protocol. `full` executors run both phases; `!full`
+/// (late helpers that found the status decided) only fix the word they came
+/// through — `via` — before returning.
+fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnResult {
+    let n = d.count;
+    // Adopt every entry's protection before the undecided check (helpers).
+    if !owner {
+        for i in 0..n {
+            g.set(slot::KCAS0 + i, d.entries[i].hp);
+        }
+    }
+    let st0 = d.status.load(Ordering::SeqCst);
+    if st0 != ST_UNDECIDED && !owner {
+        // Late helper: the adopted protections above cannot be validated
+        // once the operation is decided (the initiator may already have
+        // returned), so do not touch arbitrary words; `help_word` fixes the
+        // single word the helper came through, which its caller protects.
+        for i in 0..n {
+            g.clear(slot::KCAS0 + i);
+        }
+        return decode_status(st0);
+    }
+
+    // Phase 1: install the descriptor in every word with RDCSS.
+    let mut status = d.status.load(Ordering::SeqCst);
+    if status == ST_UNDECIDED {
+        'install: for i in 0..n {
+            let e = &d.entries[i];
+            let rd = alloc_rdcss(&d.status, e, casn_word);
+            let seen = rdcss(rd, g);
+            retire_rdcss(rd);
+            if seen == e.old {
+                // Installed (or already decided; re-checked here).
+                if d.status.load(Ordering::SeqCst) != ST_UNDECIDED {
+                    break 'install;
+                }
+                continue;
+            }
+            if seen == casn_word {
+                continue; // another executor installed this entry
+            }
+            // Genuine mismatch, or a foreign descriptor occupies the word —
+            // either way the entry cannot be installed now; a foreign
+            // operation's presence means it made progress, so failing keeps
+            // the system lock-free (depth-1 helping policy, module docs).
+            let _ = d.status.compare_exchange(
+                ST_UNDECIDED,
+                ST_FAILED_BASE + i,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            break 'install;
+        }
+        // All installed (and still undecided): decide success.
+        let _ = d.status.compare_exchange(
+            ST_UNDECIDED,
+            ST_SUCCEEDED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        status = d.status.load(Ordering::SeqCst);
+    }
+
+    // Phase 2: swing every word off the descriptor.
+    let succeeded = status == ST_SUCCEEDED;
+    for i in 0..n {
+        let e = &d.entries[i];
+        // Safety: protections adopted above (helpers) or borrowed targets
+        // (the initiating move still borrows all objects).
+        let target = unsafe { &*e.ptr };
+        let _ = target.cas_word(casn_word, if succeeded { e.new } else { e.old });
+    }
+    if !owner {
+        for i in 0..n {
+            g.clear(slot::KCAS0 + i);
+        }
+    }
+    decode_status(status)
+}
+
+fn decode_status(st: usize) -> CasnResult {
+    match st {
+        ST_SUCCEEDED => CasnResult::Success,
+        ST_UNDECIDED => unreachable!("undecided status treated as decided"),
+        f => CasnResult::FailedAt(f - ST_FAILED_BASE),
+    }
+}
+
+fn alloc_rdcss(status: &AtomicUsize, e: &CasnEntry, casn_word: Word) -> Word {
+    let block = lfc_alloc::alloc_block(RDCSS_LAYOUT).cast::<RdcssDesc>();
+    // Safety: fresh block.
+    unsafe {
+        block.as_ptr().write(RdcssDesc {
+            status,
+            word: e.ptr,
+            old: e.old,
+            casn_word,
+        });
+    }
+    word::rdcss_word(block.as_ptr() as usize)
+}
+
+fn retire_rdcss(desc_word: Word) {
+    // Published to helpers through the word; must go through the domain.
+    // Safety: the install attempt has resolved; stale readers fail
+    // validation because the word no longer holds this descriptor.
+    unsafe {
+        lfc_hazard::retire(word::desc_addr(desc_word) as *mut u8, reclaim_rdcss);
+    }
+}
+
+/// Help a CASN or RDCSS descriptor found by `read`.
+///
+/// # Safety
+///
+/// `w` must be protected by the caller's [`slot::DESC`] hazard and validated
+/// as still installed in the word it was read from.
+pub(crate) unsafe fn help_word(w: Word, via: &DAtomic, g: &Guard) {
+    match word::kind(w) {
+        word::KIND_CASN => {
+            // Safety: protected + validated per the contract.
+            let d = unsafe { &*(word::desc_addr(w) as *const CasnDesc) };
+            let st = casn_execute(d, w, g, false);
+            // The operation is decided on return, but a late helper does not
+            // run phase 2 (its protections cannot be validated), and even a
+            // full execution's phase 2 may predate a stale re-installation.
+            // Swing the word we came through — which our caller protects —
+            // off the descriptor so readers make progress.
+            let succeeded = matches!(st, CasnResult::Success);
+            for e in &d.entries[..d.count] {
+                if std::ptr::eq(e.ptr, via as *const DAtomic) {
+                    let _ = via.cas_word(w, if succeeded { e.new } else { e.old });
+                    break;
+                }
+            }
+        }
+        word::KIND_RDCSS => {
+            // Safety: protected + validated per the contract.
+            let d = unsafe { &*(word::desc_addr(w) as *const RdcssDesc) };
+            rdcss_complete(d, w);
+        }
+        _ => unreachable!("help_word called on a non-CASN word"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfc_hazard::pin;
+
+    fn entryless_commit(
+        g: &Guard,
+        words: &[&DAtomic],
+        olds: &[Word],
+        news: &[Word],
+    ) -> CasnResult {
+        let mut h = CasnHandle::new();
+        for (i, w) in words.iter().enumerate() {
+            h.set_entry(i, w, olds[i], news[i], 0);
+        }
+        let (r, _) = h.commit(g);
+        r
+    }
+
+    #[test]
+    fn three_word_success() {
+        let g = pin();
+        let a = DAtomic::new(8);
+        let b = DAtomic::new(16);
+        let c = DAtomic::new(24);
+        let r = entryless_commit(&g, &[&a, &b, &c], &[8, 16, 24], &[80, 160, 240]);
+        assert_eq!(r, CasnResult::Success);
+        assert_eq!(a.read(&g), 80);
+        assert_eq!(b.read(&g), 160);
+        assert_eq!(c.read(&g), 240);
+    }
+
+    #[test]
+    fn mid_entry_failure_reverts_everything() {
+        let g = pin();
+        let a = DAtomic::new(8);
+        let b = DAtomic::new(16);
+        let c = DAtomic::new(24);
+        let r = entryless_commit(&g, &[&a, &b, &c], &[8, 99, 24], &[80, 160, 240]);
+        assert_eq!(r, CasnResult::FailedAt(1));
+        assert_eq!(a.read(&g), 8, "entry 0 reverted");
+        assert_eq!(b.read(&g), 16);
+        assert_eq!(c.read(&g), 24, "entry 2 never touched");
+    }
+
+    #[test]
+    fn failure_reports_first_failing_index() {
+        let g = pin();
+        let a = DAtomic::new(8);
+        let b = DAtomic::new(16);
+        let r = entryless_commit(&g, &[&a, &b], &[0xBAD0, 0xBAD0], &[1 << 4, 2 << 4]);
+        assert_eq!(r, CasnResult::FailedAt(0));
+    }
+
+    #[test]
+    fn six_entries_supported() {
+        let g = pin();
+        let words: Vec<DAtomic> = (0..MAX_ENTRIES).map(|i| DAtomic::new(i * 8)).collect();
+        let refs: Vec<&DAtomic> = words.iter().collect();
+        let olds: Vec<Word> = (0..MAX_ENTRIES).map(|i| i * 8).collect();
+        let news: Vec<Word> = (0..MAX_ENTRIES).map(|i| i * 8 + 8).collect();
+        let r = entryless_commit(&g, &refs, &olds, &news);
+        assert_eq!(r, CasnResult::Success);
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(w.read(&g), i * 8 + 8);
+        }
+    }
+
+    #[test]
+    fn contended_casn_advances_words_in_lockstep() {
+        use std::sync::atomic::{AtomicUsize as C, Ordering as O};
+        const THREADS: usize = 4;
+        const SUCC: usize = 800;
+        let words: Vec<std::sync::Arc<DAtomic>> = (0..3)
+            .map(|i| std::sync::Arc::new(DAtomic::new(i * 8)))
+            .collect();
+        let total = std::sync::Arc::new(C::new(0));
+        std::thread::scope(|sc| {
+            for _ in 0..THREADS {
+                let w: Vec<_> = words.to_vec();
+                let total = total.clone();
+                sc.spawn(move || {
+                    let g = pin();
+                    let mut done = 0;
+                    while done < SUCC {
+                        // Read word 0; derive the rest without reading them:
+                        // success proves the triple held simultaneously.
+                        let v0 = w[0].read(&g);
+                        let mut h = CasnHandle::new();
+                        h.set_entry(0, &w[0], v0, v0 + 24, 0);
+                        h.set_entry(1, &w[1], v0 + 8, v0 + 32, 0);
+                        h.set_entry(2, &w[2], v0 + 16, v0 + 40, 0);
+                        if let (CasnResult::Success, _) = h.commit(&g) {
+                            done += 1;
+                            total.fetch_add(1, O::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let g = pin();
+        let n = total.load(O::Relaxed);
+        assert_eq!(n, THREADS * SUCC);
+        assert_eq!(words[0].read(&g), 24 * n);
+        assert_eq!(words[1].read(&g), 24 * n + 8);
+        assert_eq!(words[2].read(&g), 24 * n + 16);
+    }
+
+    #[test]
+    fn readers_help_in_flight_casn() {
+        // Concurrent plain readers (via read) while CASNs run: reads must
+        // only ever observe raw values, never descriptors, and the final
+        // state must be consistent.
+        let a = std::sync::Arc::new(DAtomic::new(0));
+        let b = std::sync::Arc::new(DAtomic::new(8));
+        std::thread::scope(|sc| {
+            let (ar, br) = (a.clone(), b.clone());
+            sc.spawn(move || {
+                let g = pin();
+                for _ in 0..4_000 {
+                    let v = ar.read(&g);
+                    let mut h = CasnHandle::new();
+                    h.set_entry(0, &ar, v, v + 16, 0);
+                    h.set_entry(1, &br, v + 8, v + 24, 0);
+                    let _ = h.commit(&g);
+                }
+            });
+            let (ar, br) = (a.clone(), b.clone());
+            sc.spawn(move || {
+                let g = pin();
+                for _ in 0..40_000 {
+                    let x = ar.read(&g);
+                    let y = br.read(&g);
+                    assert_eq!(x % 8, 0);
+                    assert_eq!(y % 8, 0);
+                    assert!(word::is_raw(x) && word::is_raw(y));
+                }
+            });
+        });
+        let g = pin();
+        assert_eq!(b.read(&g), a.read(&g) + 8, "pair stayed in lockstep");
+    }
+
+    #[test]
+    fn descriptors_are_reclaimed() {
+        let g = pin();
+        let a = DAtomic::new(0);
+        let b = DAtomic::new(0);
+        for i in 0..10_000usize {
+            let v = i * 8;
+            let mut h = CasnHandle::new();
+            h.set_entry(0, &a, v, v + 8, 0);
+            h.set_entry(1, &b, v, v + 8, 0);
+            let (r, _) = h.commit(&g);
+            assert_eq!(r, CasnResult::Success);
+        }
+        lfc_hazard::flush();
+        assert!(
+            lfc_hazard::pending_retired() < 20_000,
+            "pending {}",
+            lfc_hazard::pending_retired()
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Software double-word compare-and-swap (DCAS) with helping, after
+//! Cederman & Tsigas §3.2.2 (Algorithm 4), plus the CASN generalization the
+//! paper's conclusion proposes for n-object moves.
+//!
+//! The composition layer (`lfc-core`) captures the two linearization-point
+//! CAS triples of a remove and an insert operation in a [`DcasDesc`] and
+//! commits them together through [`DescHandle::commit`]; data structures
+//! route every read of a composable word through [`DAtomic::read`] so that
+//! readers help in-flight operations finish (lock-freedom).
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod dcas;
+pub mod kcas;
+pub mod word;
+
+pub use atomic::DAtomic;
+pub use dcas::{counters, DcasDesc, DcasResult, DescHandle};
+pub use word::Word;

@@ -1,0 +1,178 @@
+//! Protocol-word encoding.
+//!
+//! Every composable linearization point is a CAS on one machine word that
+//! normally holds a pointer (paper requirement 3). While a DCAS is in
+//! flight the word temporarily holds a pointer to the operation's
+//! descriptor, distinguished by mark bits in the pointer's low bits — the
+//! technique of Harris (reference \[8\] in the paper) — and, for the second word,
+//! tagged with the installing thread's id to defeat the ABA problem the
+//! paper describes in §3.2.2.
+//!
+//! ```text
+//! bits [1:0]  kind: 00 raw value, 01 DCAS descriptor,
+//!                   10 CASN descriptor, 11 RDCSS descriptor
+//! bits [8:2]  DCAS thread-id field: 0 = unmarked (installed at *ptr1),
+//!                                   tid+1 = marked (installed at *ptr2)
+//! bits [63:9] descriptor address (descriptors are 512-byte aligned)
+//! ```
+//!
+//! Raw values must have their low two bits clear: nodes are at least
+//! 8-byte-aligned heap blocks, so node pointers (and null) qualify, and
+//! bit 2 of a raw value remains free as a user mark (ordered-list logical
+//! deletion uses it).
+
+/// A protocol word.
+pub type Word = usize;
+
+/// Mask selecting the kind field.
+pub const KIND_MASK: Word = 0b11;
+/// Raw value (node pointer / null / stamped pointer).
+pub const KIND_RAW: Word = 0b00;
+/// DCAS descriptor (paper Algorithm 4).
+pub const KIND_DCAS: Word = 0b01;
+/// CASN descriptor (n-object move extension).
+pub const KIND_CASN: Word = 0b10;
+/// RDCSS descriptor (substrate of CASN).
+pub const KIND_RDCSS: Word = 0b11;
+
+const TID_SHIFT: u32 = 2;
+const TID_MASK: Word = 0x7F << TID_SHIFT;
+
+/// Alignment required of all descriptor allocations.
+pub const DESC_ALIGN: usize = 512;
+
+const ADDR_MASK: Word = !(DESC_ALIGN - 1);
+
+/// Kind field of `w`.
+#[inline]
+pub fn kind(w: Word) -> Word {
+    w & KIND_MASK
+}
+
+/// Whether `w` is a raw value (no descriptor involved).
+#[inline]
+pub fn is_raw(w: Word) -> bool {
+    kind(w) == KIND_RAW
+}
+
+/// Descriptor base address encoded in `w` (meaningless for raw words).
+#[inline]
+pub fn desc_addr(w: Word) -> usize {
+    w & ADDR_MASK
+}
+
+/// Unmarked DCAS descriptor word, as installed at `*ptr1` (line D10).
+#[inline]
+pub fn dcas_plain(addr: usize) -> Word {
+    debug_assert_eq!(addr & !ADDR_MASK, 0, "descriptor must be 512-aligned");
+    addr | KIND_DCAS
+}
+
+/// Marked DCAS descriptor word for `tid`, as installed at `*ptr2`
+/// (lines D13–D14).
+#[inline]
+pub fn dcas_marked(addr: usize, tid: u16) -> Word {
+    debug_assert_eq!(addr & !ADDR_MASK, 0, "descriptor must be 512-aligned");
+    debug_assert!((tid as usize) < lfc_runtime::MAX_THREADS);
+    addr | KIND_DCAS | (((tid as Word) + 1) << TID_SHIFT)
+}
+
+/// Thread-id field of a DCAS descriptor word (0 means unmarked).
+#[inline]
+pub fn dcas_tid_field(w: Word) -> Word {
+    (w & TID_MASK) >> TID_SHIFT
+}
+
+/// Whether `w` is a *marked* DCAS descriptor word (the `desc is marked`
+/// test of line D5).
+#[inline]
+pub fn is_marked_dcas(w: Word) -> bool {
+    kind(w) == KIND_DCAS && dcas_tid_field(w) != 0
+}
+
+/// CASN descriptor word.
+#[inline]
+pub fn casn_word(addr: usize) -> Word {
+    debug_assert_eq!(addr & !ADDR_MASK, 0);
+    addr | KIND_CASN
+}
+
+/// RDCSS descriptor word.
+#[inline]
+pub fn rdcss_word(addr: usize) -> Word {
+    debug_assert_eq!(addr & !ADDR_MASK, 0);
+    addr | KIND_RDCSS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn raw_detection() {
+        assert!(is_raw(0));
+        assert!(is_raw(0x1000));
+        assert!(!is_raw(0x1000 | KIND_DCAS));
+        assert!(!is_raw(0x1000 | KIND_CASN));
+        assert!(!is_raw(0x1000 | KIND_RDCSS));
+    }
+
+    #[test]
+    fn plain_vs_marked() {
+        let addr = 4096usize;
+        let plain = dcas_plain(addr);
+        assert_eq!(kind(plain), KIND_DCAS);
+        assert_eq!(dcas_tid_field(plain), 0);
+        assert!(!is_marked_dcas(plain));
+
+        let marked = dcas_marked(addr, 5);
+        assert!(is_marked_dcas(marked));
+        assert_eq!(dcas_tid_field(marked), 6);
+        assert_eq!(desc_addr(marked), addr);
+        assert_eq!(desc_addr(plain), addr);
+        assert_ne!(plain, marked);
+    }
+
+    #[test]
+    fn distinct_tids_distinct_marks() {
+        let addr = 8192usize;
+        let a = dcas_marked(addr, 0);
+        let b = dcas_marked(addr, 1);
+        assert_ne!(a, b);
+        assert_eq!(desc_addr(a), desc_addr(b));
+    }
+
+    #[test]
+    fn sentinel_values_are_not_descriptor_words() {
+        // res sentinels 0,1,2 must never be confused with descriptor words
+        // that carry real (>= DESC_ALIGN) addresses.
+        for s in [0usize, 1, 2] {
+            assert_eq!(desc_addr(s), 0);
+        }
+        assert!(desc_addr(dcas_marked(DESC_ALIGN, 3)) >= DESC_ALIGN);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_marked(addr_blocks in 1usize..1_000_000, tid in 0u16..126) {
+            let addr = addr_blocks * DESC_ALIGN;
+            let w = dcas_marked(addr, tid);
+            prop_assert_eq!(desc_addr(w), addr);
+            prop_assert_eq!(dcas_tid_field(w), tid as usize + 1);
+            prop_assert_eq!(kind(w), KIND_DCAS);
+        }
+
+        #[test]
+        fn kinds_partition(addr_blocks in 1usize..1_000_000) {
+            let addr = addr_blocks * DESC_ALIGN;
+            let words = [addr, dcas_plain(addr), casn_word(addr), rdcss_word(addr)];
+            for (i, a) in words.iter().enumerate() {
+                for (j, b) in words.iter().enumerate() {
+                    if i != j { prop_assert_ne!(a, b); }
+                }
+                prop_assert_eq!(desc_addr(*a), addr);
+            }
+        }
+    }
+}

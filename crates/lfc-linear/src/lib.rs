@@ -1,0 +1,44 @@
+//! Linearizability checking toolkit.
+//!
+//! Linearizability (Herlihy & Wing; the paper's §2 correctness criterion)
+//! demands that every concurrent history be equivalent to some sequential
+//! history that respects real-time order: an operation that finished before
+//! another was invoked must appear first. The composed move operation's
+//! whole point is that the pair (remove, insert) occupies a *single* point
+//! in that sequential order.
+//!
+//! This crate records concurrent histories ([`Recorder`]) and decides
+//! linearizability against a sequential specification ([`Spec`]) with a
+//! Wing–Gong-style exhaustive search, memoized on (linearized-set, state)
+//! pairs as in Lowe's checker. Specifications for queues, stacks, and —
+//! crucially — *pairs of containers with an atomic move* live in [`specs`].
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod history;
+pub mod specs;
+
+pub use checker::{check_linearizable, CheckResult};
+pub use history::{Entry, Recorder};
+pub use specs::{Cont, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp, PairSpec, QueueOp, QueueSpec, StackOp, StackSpec};
+
+use std::hash::Hash;
+
+/// A sequential specification.
+///
+/// `Op` carries the operation *and its observed outcome* (e.g.
+/// `Deq(Some(3))`); [`Spec::apply`] returns the successor state if that
+/// outcome is legal in `state`, or `None` if it is impossible.
+pub trait Spec {
+    /// Abstract state (hashed for search memoization).
+    type State: Clone + Eq + Hash;
+    /// Operation-with-outcome.
+    type Op: Clone;
+
+    /// Initial abstract state.
+    fn init(&self) -> Self::State;
+
+    /// Apply `op`; `None` when the recorded outcome contradicts `state`.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> Option<Self::State>;
+}

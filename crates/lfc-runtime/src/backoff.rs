@@ -1,0 +1,137 @@
+//! Exponential backoff, as used in the paper's evaluation (§6):
+//!
+//! > "every time a thread failed to acquire the lock or, in case of the
+//! > lock-free objects, failed to insert or remove an element due to a
+//! > conflict, the time it waited before trying again was doubled."
+
+use std::time::{Duration, Instant};
+
+/// Backoff configuration. `start_ns == 0` disables waiting entirely (a bare
+/// spin hint is still issued so tight retry loops stay polite).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffCfg {
+    /// Initial wait in nanoseconds (0 disables backoff).
+    pub start_ns: u32,
+    /// Cap on the wait in nanoseconds.
+    pub max_ns: u32,
+}
+
+impl BackoffCfg {
+    /// No backoff: retry immediately (with a spin hint).
+    pub const NONE: BackoffCfg = BackoffCfg {
+        start_ns: 0,
+        max_ns: 0,
+    };
+
+    /// Doubling backoff between `start_ns` and `max_ns` nanoseconds.
+    pub const fn exponential(start_ns: u32, max_ns: u32) -> Self {
+        BackoffCfg { start_ns, max_ns }
+    }
+
+    /// Whether this configuration actually waits.
+    pub const fn is_enabled(&self) -> bool {
+        self.start_ns != 0
+    }
+}
+
+impl Default for BackoffCfg {
+    fn default() -> Self {
+        BackoffCfg::NONE
+    }
+}
+
+/// Per-attempt backoff state; create one per operation invocation.
+#[derive(Debug)]
+pub struct Backoff {
+    cfg: BackoffCfg,
+    cur_ns: u32,
+    failures: u32,
+}
+
+impl Backoff {
+    /// Fresh state for one operation attempt sequence.
+    pub fn new(cfg: BackoffCfg) -> Self {
+        Backoff {
+            cur_ns: cfg.start_ns,
+            cfg,
+            failures: 0,
+        }
+    }
+
+    /// Number of times [`Backoff::fail`] has been called.
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Record a failed attempt and wait (doubling) if backoff is enabled.
+    pub fn fail(&mut self) {
+        self.failures += 1;
+        if !self.cfg.is_enabled() {
+            std::hint::spin_loop();
+            return;
+        }
+        spin_wait(Duration::from_nanos(self.cur_ns as u64));
+        self.cur_ns = self.cur_ns.saturating_mul(2).min(self.cfg.max_ns);
+    }
+}
+
+/// Busy-wait for roughly `d`. Sub-microsecond waits cannot be delegated to
+/// the OS scheduler, so we spin on the monotonic clock.
+pub fn spin_wait(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled() {
+        assert!(!BackoffCfg::NONE.is_enabled());
+        assert!(BackoffCfg::exponential(100, 1000).is_enabled());
+    }
+
+    #[test]
+    fn disabled_backoff_does_not_sleep() {
+        let mut b = Backoff::new(BackoffCfg::NONE);
+        let t = Instant::now();
+        for _ in 0..1000 {
+            b.fail();
+        }
+        assert!(t.elapsed() < Duration::from_millis(50));
+        assert_eq!(b.failures(), 1000);
+    }
+
+    #[test]
+    fn waits_double_up_to_max() {
+        let mut b = Backoff::new(BackoffCfg::exponential(100, 400));
+        assert_eq!(b.cur_ns, 100);
+        b.fail();
+        assert_eq!(b.cur_ns, 200);
+        b.fail();
+        assert_eq!(b.cur_ns, 400);
+        b.fail();
+        assert_eq!(b.cur_ns, 400, "capped at max");
+    }
+
+    #[test]
+    fn enabled_backoff_actually_waits() {
+        let mut b = Backoff::new(BackoffCfg::exponential(200_000, 1_600_000));
+        let t = Instant::now();
+        for _ in 0..4 {
+            b.fail(); // 200µs + 400µs + 800µs + 1.6ms = 3ms
+        }
+        assert!(t.elapsed() >= Duration::from_micros(2800));
+    }
+
+    #[test]
+    fn spin_wait_is_roughly_accurate() {
+        let t = Instant::now();
+        spin_wait(Duration::from_micros(500));
+        let e = t.elapsed();
+        assert!(e >= Duration::from_micros(500));
+    }
+}

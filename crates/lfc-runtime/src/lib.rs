@@ -1,0 +1,22 @@
+//! Runtime substrate for the lock-free composition library.
+//!
+//! Provides the pieces every other crate leans on:
+//!
+//! * [`tid`] — a registry handing out small dense thread ids. The DCAS
+//!   protocol marks descriptor pointers with the helping thread's id
+//!   (paper §3.2.2) and the hazard-pointer domain indexes its slot banks by
+//!   thread id, so ids must be small integers, reused after thread exit.
+//! * [`backoff`] — the doubling backoff function used by the paper's
+//!   evaluation (§6) for both the blocking and the lock-free objects.
+//! * [`lock`] — the test-test-and-set lock the paper uses for its blocking
+//!   baseline composition (§6).
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod lock;
+pub mod tid;
+
+pub use backoff::{Backoff, BackoffCfg};
+pub use lock::TtasLock;
+pub use tid::{current_tid, on_thread_exit, registered_high_water, thread_is_exiting, MAX_THREADS};

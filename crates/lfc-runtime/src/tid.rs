@@ -1,0 +1,206 @@
+//! Dense thread-id registry.
+//!
+//! A thread claims the lowest free id on first use and releases it when the
+//! thread exits. Ids are bounded by [`MAX_THREADS`] because they are encoded
+//! into marked descriptor words (7 bits, see `lfc-dcas::word`) and index
+//! fixed-size hazard-slot banks.
+//!
+//! Per-thread state owned by other crates (hazard retire lists, allocator
+//! magazines) must be torn down *before* the id is released, otherwise a new
+//! thread could claim the id and race on the associated slots. Those crates
+//! register teardown callbacks with [`on_thread_exit`]; the callbacks run in
+//! reverse registration order inside the single thread-local destructor that
+//! also releases the id, guaranteeing the required ordering.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Maximum number of concurrently registered threads.
+///
+/// Bounded by the 7-bit thread-id field in marked DCAS descriptor words
+/// (`tid + 1` must fit in 7 bits).
+pub const MAX_THREADS: usize = 126;
+
+static CLAIMED: [AtomicBool; MAX_THREADS] = [const { AtomicBool::new(false) }; MAX_THREADS];
+
+/// High-water mark: one past the largest thread id ever claimed. Scanners
+/// (hazard-pointer scan) iterate `0..registered_high_water()`.
+static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+
+struct ThreadSlot {
+    tid: u16,
+    exit_hooks: Vec<Box<dyn FnOnce()>>,
+}
+
+impl Drop for ThreadSlot {
+    fn drop(&mut self) {
+        // Teardown callbacks may allocate/free/retire; mark the thread as
+        // exiting so those layers take their direct (non-TLS) fallback paths
+        // instead of trying to initialize per-thread state — registering a
+        // new exit hook from inside an exit hook would touch `SLOT` while it
+        // is being destroyed.
+        let _ = EXITING.try_with(|c| c.set(true));
+        // Run teardown callbacks (hazard flush, magazine flush, …) before the
+        // id becomes claimable again.
+        for hook in self.exit_hooks.drain(..).rev() {
+            hook();
+        }
+        CLAIMED[self.tid as usize].store(false, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static SLOT: RefCell<Option<ThreadSlot>> = const { RefCell::new(None) };
+    // No drop glue, so this stays accessible while other TLS destructors run.
+    static EXITING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is running its thread-exit teardown (or has
+/// torn down its TLS entirely). Layers with per-thread caches must bypass
+/// them — and must not call [`on_thread_exit`] — when this is true.
+pub fn thread_is_exiting() -> bool {
+    EXITING.try_with(|c| c.get()).unwrap_or(true)
+}
+
+fn claim() -> u16 {
+    for (i, flag) in CLAIMED.iter().enumerate() {
+        if !flag.load(Ordering::Relaxed)
+            && flag
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            HIGH_WATER.fetch_max(i + 1, Ordering::Relaxed);
+            return i as u16;
+        }
+    }
+    panic!("lfc-runtime: more than {MAX_THREADS} concurrently registered threads");
+}
+
+/// Returns this thread's dense id, claiming one on first use.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_THREADS`] threads are registered at once.
+pub fn current_tid() -> u16 {
+    SLOT.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        match &*slot {
+            Some(s) => s.tid,
+            None => {
+                let tid = claim();
+                *slot = Some(ThreadSlot {
+                    tid,
+                    exit_hooks: Vec::new(),
+                });
+                tid
+            }
+        }
+    })
+}
+
+/// Registers a callback to run when the current thread exits, before its
+/// thread id is released. Callbacks run in reverse registration order.
+pub fn on_thread_exit(hook: Box<dyn FnOnce()>) {
+    // Ensure the slot exists so the hook has somewhere to live.
+    current_tid();
+    SLOT.with(|slot| {
+        slot.borrow_mut()
+            .as_mut()
+            .expect("slot initialized by current_tid")
+            .exit_hooks
+            .push(hook);
+    });
+}
+
+/// One past the largest thread id ever claimed by this process.
+pub fn registered_high_water() -> usize {
+    HIGH_WATER.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    #[test]
+    fn same_thread_same_tid() {
+        let a = current_tid();
+        let b = current_tid();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_threads_distinct_tids() {
+        let mine = current_tid();
+        let theirs = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn tid_below_bound() {
+        assert!((current_tid() as usize) < MAX_THREADS);
+    }
+
+    #[test]
+    fn high_water_covers_current() {
+        let tid = current_tid();
+        assert!(registered_high_water() > tid as usize);
+    }
+
+    #[test]
+    fn tids_are_reused_after_exit() {
+        // Spawn threads strictly sequentially; with at most one short-lived
+        // helper alive at a time the claimed set cannot grow without bound.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..MAX_THREADS * 3 {
+            let tid = std::thread::spawn(current_tid).join().unwrap();
+            seen.insert(tid);
+        }
+        // Reuse must have happened: we spawned 3x MAX_THREADS threads.
+        assert!(seen.len() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn exit_hooks_run_in_reverse_order() {
+        let log = Arc::new(AtomicU32::new(0));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        std::thread::spawn(move || {
+            on_thread_exit(Box::new(move || {
+                // Runs second: expects the value the later hook wrote.
+                assert_eq!(l1.load(Ordering::SeqCst), 7);
+                l1.store(13, Ordering::SeqCst);
+            }));
+            on_thread_exit(Box::new(move || {
+                assert_eq!(l2.load(Ordering::SeqCst), 0);
+                l2.store(7, Ordering::SeqCst);
+            }));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(log.load(Ordering::SeqCst), 13);
+    }
+
+    #[test]
+    fn many_parallel_threads_get_unique_ids() {
+        // A barrier guarantees all threads hold their id simultaneously;
+        // without it a late spawner could legitimately reuse the id of an
+        // early thread that already exited.
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(32));
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let t = current_tid();
+                    barrier.wait();
+                    t
+                })
+            })
+            .collect();
+        let mut ids: Vec<u16> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 32, "concurrent threads must hold distinct ids");
+    }
+}

@@ -1,0 +1,166 @@
+//! A lock-free hash map with move-ready keyed operations — the "hash-map"
+//! half of the paper's §1.1 motivating scenario.
+//!
+//! A fixed array of [`OrderedSet`] buckets: each operation hashes the key
+//! and delegates to one bucket, so the map inherits the list's
+//! move-candidate properties verbatim (its linearization points *are* the
+//! bucket list's). Elements can therefore be moved atomically between a map
+//! and a list — or between two maps — with [`lfc_core::move_keyed`].
+
+use crate::ordered_list::OrderedSet;
+use lfc_core::{
+    InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, NormalCas, RemoveCtx,
+    RemoveOutcome,
+};
+use std::hash::{Hash, Hasher};
+
+/// A move-ready lock-free hash map (fixed bucket count, unique keys).
+pub struct LfHashMap<K, T>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    buckets: Vec<OrderedSet<K, T>>,
+}
+
+impl<K, T> LfHashMap<K, T>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    /// Map with a default bucket count.
+    pub fn new() -> Self {
+        Self::with_buckets(64)
+    }
+
+    /// Map with `n` buckets (rounded up to at least 1).
+    pub fn with_buckets(n: usize) -> Self {
+        LfHashMap {
+            buckets: (0..n.max(1)).map(|_| OrderedSet::new()).collect(),
+        }
+    }
+
+    fn bucket(&self, key: &K) -> &OrderedSet<K, T> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.buckets[(h.finish() as usize) % self.buckets.len()]
+    }
+
+    /// Insert `val` under `key`; false if the key is present.
+    pub fn insert(&self, key: K, val: T) -> bool {
+        self.insert_key_with(key, val, &mut NormalCas) == InsertOutcome::Inserted
+    }
+
+    /// Remove the element under `key`.
+    pub fn remove(&self, key: &K) -> Option<T> {
+        match self.remove_key_with(key, &mut NormalCas) {
+            RemoveOutcome::Removed(v) => Some(v),
+            RemoveOutcome::Empty => None,
+            RemoveOutcome::Aborted => unreachable!("NormalCas never aborts"),
+        }
+    }
+
+    /// Clone the element under `key`.
+    pub fn get(&self, key: &K) -> Option<T> {
+        self.bucket(key).get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.bucket(key).contains(key)
+    }
+
+    /// Racy O(n) size (quiescent use only).
+    pub fn count(&self) -> usize {
+        self.buckets.iter().map(|b| b.count()).sum()
+    }
+}
+
+impl<K, T> Default for LfHashMap<K, T>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, T> KeyedMoveTarget<K, T> for LfHashMap<K, T>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome {
+        self.bucket(&key).insert_key_with(key, elem, ctx)
+    }
+}
+
+impl<K, T> KeyedMoveSource<K, T> for LfHashMap<K, T>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    fn remove_key_with<C: RemoveCtx<T>>(&self, key: &K, ctx: &mut C) -> RemoveOutcome<T> {
+        self.bucket(key).remove_key_with(key, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let m: LfHashMap<String, u64> = LfHashMap::new();
+        assert!(m.insert("a".into(), 1));
+        assert!(m.insert("b".into(), 2));
+        assert!(!m.insert("a".into(), 3), "duplicate");
+        assert_eq!(m.get(&"a".into()), Some(1));
+        assert_eq!(m.remove(&"a".into()), Some(1));
+        assert_eq!(m.get(&"a".into()), None);
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn many_keys_across_buckets() {
+        let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(8);
+        for k in 0..500 {
+            assert!(m.insert(k, k * k));
+        }
+        assert_eq!(m.count(), 500);
+        for k in 0..500 {
+            assert_eq!(m.get(&k), Some(k * k));
+        }
+        for k in (0..500).step_by(2) {
+            assert_eq!(m.remove(&k), Some(k * k));
+        }
+        assert_eq!(m.count(), 250);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(16);
+        let balance = AtomicI64::new(0);
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let m = &m;
+                let balance = &balance;
+                sc.spawn(move || {
+                    for i in 0..1_500 {
+                        let k = (t * 31 + i * 7) % 64;
+                        if i % 2 == 0 {
+                            if m.insert(k, i) {
+                                balance.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if m.remove(&k).is_some() {
+                            balance.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(balance.load(Ordering::Relaxed), m.count() as i64);
+    }
+}

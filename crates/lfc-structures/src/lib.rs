@@ -1,0 +1,35 @@
+//! Move-ready concurrent data objects and their baselines.
+//!
+//! * [`MsQueue`] — the Michael–Scott lock-free queue, move-ready (paper §5.1)
+//! * [`TreiberStack`] — the Treiber lock-free stack, move-ready (paper §5.2)
+//! * [`StampedStack`] — Treiber with a version-stamped top (paper §7's ABA fix)
+//! * [`OneSlot`] — a bounded single-element container (exercises move aborts)
+//! * [`PlainMsQueue`], [`PlainTreiberStack`] — textbook baselines without the
+//!   `scas` transformation, for the normal-operation overhead comparison
+//! * [`LockQueue`], [`LockStack`], [`lock_move`] — the paper's blocking
+//!   test-test-and-set baseline and its two-lock composed move
+//!
+//! All lock-free objects share the pooling memory manager (`lfc-alloc`) and
+//! the hazard-pointer domain (`lfc-hazard`), as in the paper's evaluation.
+
+#![warn(missing_docs)]
+
+mod node;
+
+pub mod hash_map;
+pub mod locked;
+pub mod ms_queue;
+pub mod one_slot;
+pub mod ordered_list;
+pub mod plain;
+pub mod stamped;
+pub mod treiber;
+
+pub use hash_map::LfHashMap;
+pub use locked::{lock_move, LockQueue, LockStack, Locked};
+pub use ms_queue::MsQueue;
+pub use one_slot::OneSlot;
+pub use ordered_list::OrderedSet;
+pub use plain::{PlainMsQueue, PlainTreiberStack};
+pub use stamped::StampedStack;
+pub use treiber::TreiberStack;

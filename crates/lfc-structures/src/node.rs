@@ -1,0 +1,206 @@
+//! Node and header plumbing shared by the move-ready structures.
+//!
+//! All nodes and structure headers are allocated from the paper's pooling
+//! memory manager (`lfc-alloc`) and given back exclusively through the
+//! hazard domain (`lfc-hazard::retire`), because DCAS helpers may write
+//! into a node's `next` word — or into a structure's `head`/`tail`/`top`
+//! header word — after the operation that published the descriptor has
+//! returned. Hazard-managed headers are the Rust-soundness addition
+//! documented in DESIGN.md §2.
+
+use lfc_dcas::{DAtomic, Word};
+use std::alloc::Layout;
+use std::cell::UnsafeCell;
+use std::ptr::NonNull;
+
+/// A singly linked node carrying an optional value (the queue's dummy node
+/// holds `None`).
+#[repr(C)]
+pub(crate) struct Node<T> {
+    /// Successor word; may transiently hold a DCAS descriptor.
+    pub next: DAtomic,
+    /// Written once before the node is published; read (cloned) by removers
+    /// before their linearization point; dropped at reclamation.
+    pub val: UnsafeCell<Option<T>>,
+}
+
+const fn node_layout<T>() -> Layout {
+    Layout::new::<Node<T>>()
+}
+
+/// Allocate and initialize a node. The returned pointer is at least
+/// 8-aligned, i.e. a valid raw protocol word.
+pub(crate) fn alloc_node<T>(val: Option<T>) -> *mut Node<T> {
+    let p = lfc_alloc::alloc_block(node_layout::<T>()).cast::<Node<T>>();
+    // Safety: fresh, correctly sized and aligned block.
+    unsafe {
+        p.as_ptr().write(Node {
+            next: DAtomic::new(0),
+            val: UnsafeCell::new(val),
+        });
+    }
+    debug_assert_eq!(p.as_ptr() as usize & 0b111, 0);
+    p.as_ptr()
+}
+
+/// Reclaimer registered with the hazard domain: drops the value and returns
+/// the block to the pool.
+pub(crate) unsafe fn reclaim_node<T>(p: *mut u8) {
+    let node = p as *mut Node<T>;
+    // Safety: retire contract — last reference, initialized node.
+    unsafe {
+        std::ptr::drop_in_place(node);
+        lfc_alloc::free_block(p, node_layout::<T>());
+    }
+}
+
+/// Defer-free a node that was published (reachable through shared memory).
+///
+/// # Safety
+///
+/// The node must be unlinked per the hazard-domain retire contract.
+pub(crate) unsafe fn retire_node<T>(p: *mut Node<T>) {
+    // Safety: forwarded.
+    unsafe { lfc_hazard::retire(p as *mut u8, reclaim_node::<T>) };
+}
+
+/// Free a node that was never published (insert abort path, paper Q15–Q17 /
+/// S8–S10).
+///
+/// # Safety
+///
+/// The node must be unpublished and uniquely owned.
+pub(crate) unsafe fn free_unpublished_node<T>(p: *mut Node<T>) {
+    // Safety: unique owner.
+    unsafe { reclaim_node::<T>(p as *mut u8) };
+}
+
+/// Clone the value out of a (hazard-protected) node.
+///
+/// # Safety
+///
+/// `p` must point to a live node holding `Some` value, protected against
+/// reclamation by the caller.
+pub(crate) unsafe fn clone_val<T: Clone>(p: *mut Node<T>) -> T {
+    // Safety: value words are written once before publication; concurrent
+    // readers only take shared references.
+    match unsafe { (*(*p).val.get()).as_ref() } {
+        Some(v) => v.clone(),
+        None => unreachable!("value nodes always hold Some; only the dummy holds None"),
+    }
+}
+
+/// A two-word structure header (queue). Kept in its own pooled allocation so
+/// helpers can pin it before writing (see module docs).
+#[repr(C)]
+pub(crate) struct PairHeader {
+    pub first: DAtomic,
+    pub second: DAtomic,
+}
+
+/// A one-word structure header (stack, slot).
+#[repr(C)]
+pub(crate) struct SoloHeader {
+    pub word: DAtomic,
+}
+
+pub(crate) fn alloc_pair_header(first: Word, second: Word) -> NonNull<PairHeader> {
+    let p = lfc_alloc::alloc_block(Layout::new::<PairHeader>()).cast::<PairHeader>();
+    // Safety: fresh block.
+    unsafe {
+        p.as_ptr().write(PairHeader {
+            first: DAtomic::new(first),
+            second: DAtomic::new(second),
+        });
+    }
+    p
+}
+
+pub(crate) fn alloc_solo_header(word: Word) -> NonNull<SoloHeader> {
+    let p = lfc_alloc::alloc_block(Layout::new::<SoloHeader>()).cast::<SoloHeader>();
+    // Safety: fresh block.
+    unsafe {
+        p.as_ptr().write(SoloHeader {
+            word: DAtomic::new(word),
+        });
+    }
+    p
+}
+
+pub(crate) unsafe fn reclaim_pair_header(p: *mut u8) {
+    // No drop glue: DAtomics are plain words.
+    unsafe { lfc_alloc::free_block(p, Layout::new::<PairHeader>()) };
+}
+
+pub(crate) unsafe fn reclaim_solo_header(p: *mut u8) {
+    unsafe { lfc_alloc::free_block(p, Layout::new::<SoloHeader>()) };
+}
+
+/// Retire a header at structure drop.
+///
+/// # Safety
+///
+/// Must be the structure's unique teardown path.
+pub(crate) unsafe fn retire_pair_header(p: NonNull<PairHeader>) {
+    unsafe { lfc_hazard::retire(p.as_ptr() as *mut u8, reclaim_pair_header) };
+}
+
+/// See [`retire_pair_header`].
+///
+/// # Safety
+///
+/// Must be the structure's unique teardown path.
+pub(crate) unsafe fn retire_solo_header(p: NonNull<SoloHeader>) {
+    unsafe { lfc_hazard::retire(p.as_ptr() as *mut u8, reclaim_solo_header) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_word_aligned() {
+        let n = alloc_node::<u64>(Some(1));
+        assert_eq!(n as usize & 0b111, 0);
+        unsafe { free_unpublished_node(n) };
+    }
+
+    #[test]
+    fn node_value_roundtrip() {
+        let n = alloc_node::<String>(Some("hello".to_string()));
+        assert_eq!(unsafe { clone_val(n) }, "hello");
+        unsafe { free_unpublished_node(n) };
+    }
+
+    #[test]
+    fn drop_counts_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Clone)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let before = DROPS.load(Ordering::SeqCst);
+        let n = alloc_node::<D>(Some(D));
+        unsafe { free_unpublished_node(n) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+
+    #[test]
+    fn headers_allocate_and_free() {
+        let h = alloc_pair_header(0, 8);
+        unsafe {
+            assert_eq!(h.as_ref().first.load_word(), 0);
+            assert_eq!(h.as_ref().second.load_word(), 8);
+            reclaim_pair_header(h.as_ptr() as *mut u8);
+        }
+        let s = alloc_solo_header(16);
+        unsafe {
+            assert_eq!(s.as_ref().word.load_word(), 16);
+            reclaim_solo_header(s.as_ptr() as *mut u8);
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! A lock-free sorted linked-list set (Harris/Michael style) made
+//! move-ready — the "linked list" half of the paper's §1.1 motivating
+//! scenario (moving elements between a hash map and a list).
+//!
+//! Deletion is two-phase, as in Harris’s list (the paper’s reference \[8\]): the
+//! *logical* delete marks the victim's `next` word (bit 2 of a raw protocol
+//! word, disjoint from the descriptor kind bits), and that marking CAS is
+//! the remove's linearization point — executed by the invoking thread, on a
+//! pointer word, with the element read beforehand, so the list is a
+//! move-candidate (paper Definition 1). Physical unlinking is cleanup,
+//! performed by the remover or by any later traversal.
+
+use crate::node::{alloc_solo_header, retire_solo_header, SoloHeader};
+use lfc_core::{
+    InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint, NormalCas, RemoveCtx,
+    RemoveOutcome, ScasResult,
+};
+use lfc_dcas::DAtomic;
+use lfc_hazard::{pin, slot, Guard};
+use std::alloc::Layout;
+use std::cell::UnsafeCell;
+use std::ptr::NonNull;
+
+/// Logical-deletion mark on raw `next` words (kind bits are [1:0]).
+const DEL_MARK: usize = 0b100;
+
+#[inline]
+fn is_deleted(w: usize) -> bool {
+    w & DEL_MARK != 0
+}
+
+#[inline]
+fn without_mark(w: usize) -> usize {
+    w & !DEL_MARK
+}
+
+struct LNode<K, T> {
+    next: DAtomic,
+    key: K,
+    val: UnsafeCell<Option<T>>,
+}
+
+fn lnode_layout<K, T>() -> Layout {
+    Layout::new::<LNode<K, T>>()
+}
+
+fn alloc_lnode<K, T>(key: K, val: T) -> *mut LNode<K, T> {
+    let p = lfc_alloc::alloc_block(lnode_layout::<K, T>()).cast::<LNode<K, T>>();
+    // Safety: fresh block of the right layout.
+    unsafe {
+        p.as_ptr().write(LNode {
+            next: DAtomic::new(0),
+            key,
+            val: UnsafeCell::new(Some(val)),
+        });
+    }
+    debug_assert_eq!(p.as_ptr() as usize & 0b111, 0);
+    p.as_ptr()
+}
+
+unsafe fn reclaim_lnode<K, T>(p: *mut u8) {
+    // Safety: retire contract.
+    unsafe {
+        std::ptr::drop_in_place(p as *mut LNode<K, T>);
+        lfc_alloc::free_block(p, lnode_layout::<K, T>());
+    }
+}
+
+unsafe fn retire_lnode<K, T>(p: *mut LNode<K, T>) {
+    // Safety: forwarded.
+    unsafe { lfc_hazard::retire(p as *mut u8, reclaim_lnode::<K, T>) };
+}
+
+unsafe fn free_unpublished_lnode<K, T>(p: *mut LNode<K, T>) {
+    // Safety: unique owner.
+    unsafe { reclaim_lnode::<K, T>(p as *mut u8) };
+}
+
+/// A move-ready lock-free sorted set with unique keys.
+pub struct OrderedSet<K, T>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    header: NonNull<SoloHeader>,
+    _marker: std::marker::PhantomData<(K, T)>,
+}
+
+// Safety: handle to hazard-managed shared state; see MsQueue.
+unsafe impl<K, T> Send for OrderedSet<K, T>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+}
+unsafe impl<K, T> Sync for OrderedSet<K, T>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+}
+
+/// Where a key belongs in the list: the word to CAS and its successor.
+struct Position<K, T> {
+    /// Word holding `cur` (the head word or a predecessor's `next`).
+    prev_word: *const DAtomic,
+    /// Allocation containing `prev_word` (header or predecessor node).
+    prev_hp: usize,
+    /// First node with `node.key >= key`, or null.
+    cur: *mut LNode<K, T>,
+}
+
+impl<K, T> OrderedSet<K, T>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    /// Empty set.
+    pub fn new() -> Self {
+        OrderedSet {
+            header: alloc_solo_header(0),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    fn head(&self) -> &DAtomic {
+        // Safety: header lives until Drop.
+        &unsafe { self.header.as_ref() }.word
+    }
+
+    /// Locate `key` starting the hazard pair at `slot_base` (the caller's
+    /// prev/cur hazard roles), unlinking logically deleted nodes on the way
+    /// (Michael's `find`). On return, `cur` (if non-null) is protected by
+    /// `slot_base + 1` and the predecessor allocation by `slot_base`.
+    fn find(&self, key: &K, g: &Guard, slot_base: usize) -> Position<K, T> {
+        'retry: loop {
+            let mut prev_word: *const DAtomic = self.head();
+            let mut prev_hp = self.header.as_ptr() as usize;
+            g.set(slot_base, prev_hp);
+            loop {
+                // Safety: prev allocation protected (header: owned; node:
+                // hazard at slot_base).
+                let cur = unsafe { &*prev_word }.read(g);
+                if is_deleted(cur) {
+                    // The predecessor was logically deleted under us (its
+                    // own `next` carries the mark): its link is frozen and
+                    // no longer part of the live chain — restart (Michael's
+                    // find re-checks the mark on every hop).
+                    continue 'retry;
+                }
+                if cur == 0 {
+                    g.clear(slot_base + 1);
+                    return Position {
+                        prev_word,
+                        prev_hp,
+                        cur: std::ptr::null_mut(),
+                    };
+                }
+                g.set(slot_base + 1, cur);
+                // Safety: as above.
+                if unsafe { &*prev_word }.read(g) != cur {
+                    continue 'retry;
+                }
+                let cur_node = cur as *mut LNode<K, T>;
+                // Safety: cur protected + validated.
+                let next_w = unsafe { &(*cur_node).next }.read(g);
+                if is_deleted(next_w) {
+                    // Logically deleted: unlink (cleanup helping) and retry.
+                    // Safety: prev word protected as above.
+                    if unsafe { &*prev_word }.cas_word(cur, without_mark(next_w)) {
+                        // Safety: we unlinked it.
+                        unsafe { retire_lnode(cur_node) };
+                    }
+                    continue 'retry;
+                }
+                // Safety: cur protected.
+                if unsafe { &(*cur_node).key } >= key {
+                    return Position {
+                        prev_word,
+                        prev_hp,
+                        cur: cur_node,
+                    };
+                }
+                // Advance: cur becomes the new predecessor.
+                g.set(slot_base, cur);
+                prev_word = unsafe { &(*cur_node).next };
+                prev_hp = cur;
+            }
+        }
+    }
+
+    /// Insert `val` under `key`; false if the key is already present.
+    pub fn insert(&self, key: K, val: T) -> bool {
+        self.insert_key_with(key, val, &mut NormalCas) == InsertOutcome::Inserted
+    }
+
+    /// Remove the element under `key`.
+    pub fn remove(&self, key: &K) -> Option<T> {
+        match self.remove_key_with(key, &mut NormalCas) {
+            RemoveOutcome::Removed(v) => Some(v),
+            RemoveOutcome::Empty => None,
+            RemoveOutcome::Aborted => unreachable!("NormalCas never aborts"),
+        }
+    }
+
+    /// Clone the element under `key`, if present.
+    pub fn get(&self, key: &K) -> Option<T> {
+        let g = pin();
+        let pos = self.find(key, &g, slot::REM0);
+        let out = if pos.cur.is_null() {
+            None
+        } else {
+            // Safety: cur protected by find.
+            let node = pos.cur;
+            if unsafe { &(*node).key } == key {
+                // Safety: value immutable, node protected.
+                unsafe { (*(*node).val.get()).clone() }
+            } else {
+                None
+            }
+        };
+        g.clear(slot::REM0);
+        g.clear(slot::REM1);
+        out
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Racy O(n) length (quiescent use only).
+    pub fn count(&self) -> usize {
+        let g = pin();
+        let mut n = 0;
+        let mut cur = self.head().read(&g);
+        while cur != 0 {
+            // Safety: quiescent per the docs.
+            let next = unsafe { &(*(cur as *mut LNode<K, T>)).next }.read(&g);
+            if !is_deleted(next) {
+                n += 1;
+            }
+            cur = without_mark(next);
+        }
+        n
+    }
+}
+
+impl<K, T> Default for OrderedSet<K, T>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, T> KeyedMoveTarget<K, T> for OrderedSet<K, T>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome {
+        let g = pin();
+        let node = alloc_lnode(key, elem);
+        loop {
+            // Safety: node is ours until published.
+            let key_ref = unsafe { &(*node).key };
+            let pos = self.find(key_ref, &g, slot::INS0);
+            if !pos.cur.is_null() {
+                // Safety: cur protected by find.
+                if unsafe { &(*pos.cur).key } == key_ref {
+                    // Duplicate key: genuine rejection (fails a move).
+                    g.clear(slot::INS0);
+                    g.clear(slot::INS1);
+                    // Safety: never published.
+                    unsafe { free_unpublished_lnode(node) };
+                    return InsertOutcome::Rejected;
+                }
+            }
+            // Safety: unpublished node.
+            unsafe { &(*node).next }.store_word(pos.cur as usize);
+            let r = ctx.scas(LinPoint {
+                // Safety: prev allocation protected by find.
+                word: unsafe { &*pos.prev_word },
+                old: pos.cur as usize,
+                new: node as usize,
+                hp: pos.prev_hp,
+            });
+            match r {
+                ScasResult::Success => {
+                    g.clear(slot::INS0);
+                    g.clear(slot::INS1);
+                    return InsertOutcome::Inserted;
+                }
+                ScasResult::Fail => continue,
+                ScasResult::Abort => {
+                    g.clear(slot::INS0);
+                    g.clear(slot::INS1);
+                    // Safety: never published.
+                    unsafe { free_unpublished_lnode(node) };
+                    return InsertOutcome::Rejected;
+                }
+            }
+        }
+    }
+}
+
+impl<K, T> KeyedMoveSource<K, T> for OrderedSet<K, T>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    fn remove_key_with<C: RemoveCtx<T>>(&self, key: &K, ctx: &mut C) -> RemoveOutcome<T> {
+        let g = pin();
+        loop {
+            let pos = self.find(key, &g, slot::REM0);
+            let cur = pos.cur;
+            // Safety: cur protected by find (when non-null).
+            if cur.is_null() || unsafe { &(*cur).key } != key {
+                g.clear(slot::REM0);
+                g.clear(slot::REM1);
+                return RemoveOutcome::Empty;
+            }
+            // Safety: cur protected.
+            let next_w = unsafe { &(*cur).next }.read(&g);
+            if is_deleted(next_w) {
+                continue; // someone else is removing it; re-find
+            }
+            // Element accessible before the linearization point (req. 4).
+            // Safety: value immutable; cur protected.
+            let val = match unsafe { (*(*cur).val.get()).as_ref() } {
+                Some(v) => v.clone(),
+                None => unreachable!("list nodes always hold a value"),
+            };
+            // The linearization point: the logical-delete marking CAS.
+            let r = ctx.scas(
+                LinPoint {
+                    // Safety: cur protected.
+                    word: unsafe { &(*cur).next },
+                    old: next_w,
+                    new: next_w | DEL_MARK,
+                    hp: cur as usize,
+                },
+                &val,
+            );
+            match r {
+                ScasResult::Success => {
+                    // Cleanup: try to unlink physically; a traversal will
+                    // otherwise do it later.
+                    // Safety: prev allocation protected by find.
+                    if unsafe { &*pos.prev_word }.cas_word(cur as usize, next_w) {
+                        // Safety: unlinked.
+                        unsafe { retire_lnode(cur) };
+                    }
+                    g.clear(slot::REM0);
+                    g.clear(slot::REM1);
+                    return RemoveOutcome::Removed(val);
+                }
+                ScasResult::Fail => continue,
+                ScasResult::Abort => {
+                    g.clear(slot::REM0);
+                    g.clear(slot::REM1);
+                    return RemoveOutcome::Aborted;
+                }
+            }
+        }
+    }
+}
+
+impl<K, T> Drop for OrderedSet<K, T>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    fn drop(&mut self) {
+        let g = pin();
+        let mut cur = self.head().read(&g);
+        while cur != 0 {
+            let node = cur as *mut LNode<K, T>;
+            // Safety: exclusive teardown.
+            let next = unsafe { &(*node).next }.read(&g);
+            unsafe { retire_lnode(node) };
+            cur = without_mark(next);
+        }
+        // Safety: unique teardown.
+        unsafe { retire_solo_header(self.header) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_unique_inserts() {
+        let s: OrderedSet<u64, u64> = OrderedSet::new();
+        assert!(s.insert(5, 50));
+        assert!(s.insert(1, 10));
+        assert!(s.insert(3, 30));
+        assert!(!s.insert(3, 31), "duplicate key rejected");
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.get(&1), Some(10));
+        assert_eq!(s.get(&3), Some(30));
+        assert_eq!(s.get(&5), Some(50));
+        assert_eq!(s.get(&4), None);
+    }
+
+    #[test]
+    fn remove_by_key() {
+        let s: OrderedSet<u64, String> = OrderedSet::new();
+        s.insert(2, "two".into());
+        s.insert(1, "one".into());
+        assert_eq!(s.remove(&2).as_deref(), Some("two"));
+        assert_eq!(s.remove(&2), None);
+        assert!(s.contains(&1));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let s: OrderedSet<u64, u64> = OrderedSet::new();
+        for round in 0..10 {
+            assert!(s.insert(7, round));
+            assert_eq!(s.remove(&7), Some(round));
+        }
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_key_ranges() {
+        let s: OrderedSet<u64, u64> = OrderedSet::new();
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for k in 0..300 {
+                        let key = t * 1_000 + k;
+                        assert!(s.insert(key, key * 2));
+                    }
+                    for k in 0..300 {
+                        let key = t * 1_000 + k;
+                        assert_eq!(s.remove(&key), Some(key * 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_contention() {
+        // Many threads fight over one key: at most one insert wins per
+        // occupancy period; inserts+removes must balance.
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let s: OrderedSet<u64, u64> = OrderedSet::new();
+        let balance = AtomicI64::new(0);
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let s = &s;
+                let balance = &balance;
+                sc.spawn(move || {
+                    for i in 0..2_000 {
+                        if i % 2 == 0 {
+                            if s.insert(42, i) {
+                                balance.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if s.remove(&42).is_some() {
+                            balance.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let residual = balance.load(Ordering::Relaxed);
+        assert_eq!(
+            residual,
+            s.count() as i64,
+            "insert/remove balance equals final occupancy"
+        );
+        assert!(residual == 0 || residual == 1);
+    }
+
+    #[test]
+    fn drop_reclaims_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Clone)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let before = DROPS.load(Ordering::SeqCst);
+        {
+            let s: OrderedSet<u64, D> = OrderedSet::new();
+            for k in 0..30 {
+                s.insert(k, D);
+            }
+        }
+        lfc_hazard::flush();
+        assert_eq!(DROPS.load(Ordering::SeqCst) - before, 30);
+    }
+}

@@ -1,0 +1,279 @@
+//! Treiber's lock-free stack, made move-ready per the paper's §5.2 /
+//! Algorithm 6: the linearization CASes at lines S7 (push) and S22 (pop)
+//! become `scas` calls, push gains an abort path (S8–S10), and all reads of
+//! `top` go through the DCAS `read` operation (S5, S15, S19).
+//!
+//! The stack is a verified move-candidate (paper Lemma 9). Note that a
+//! *self*-move (stack onto itself) would put both linearization points on
+//! the same `top` word — a case a two-word CAS cannot express; the move
+//! layer detects it and reports [`lfc_core::MoveOutcome::WouldAlias`].
+
+use crate::node::{
+    alloc_node, alloc_solo_header, clone_val, free_unpublished_node, retire_node,
+    retire_solo_header, Node, SoloHeader,
+};
+use lfc_core::{
+    InsertCtx, InsertOutcome, LinPoint, MoveSource, MoveTarget, NormalCas, RemoveCtx,
+    RemoveOutcome, ScasResult,
+};
+use lfc_hazard::{pin, slot};
+use lfc_runtime::{Backoff, BackoffCfg};
+use std::ptr::NonNull;
+
+/// A move-ready Treiber lock-free LIFO stack.
+pub struct TreiberStack<T: Clone + Send + Sync + 'static> {
+    header: NonNull<SoloHeader>,
+    backoff: BackoffCfg,
+    _marker: std::marker::PhantomData<T>,
+}
+
+// Safety: see `MsQueue`.
+unsafe impl<T: Clone + Send + Sync + 'static> Send for TreiberStack<T> {}
+unsafe impl<T: Clone + Send + Sync + 'static> Sync for TreiberStack<T> {}
+
+impl<T: Clone + Send + Sync + 'static> TreiberStack<T> {
+    /// Empty stack without contention backoff.
+    pub fn new() -> Self {
+        Self::with_backoff(BackoffCfg::NONE)
+    }
+
+    /// Empty stack whose operations run `cfg` backoff on failed CASes.
+    pub fn with_backoff(cfg: BackoffCfg) -> Self {
+        TreiberStack {
+            header: alloc_solo_header(0),
+            backoff: cfg,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    fn top(&self) -> &lfc_dcas::DAtomic {
+        // Safety: header lives until Drop retires it.
+        &unsafe { self.header.as_ref() }.word
+    }
+
+    #[inline]
+    fn header_addr(&self) -> usize {
+        self.header.as_ptr() as usize
+    }
+
+    /// Push `v`. Lock-free; never fails on an unbounded stack.
+    pub fn push(&self, v: T) {
+        let r = self.insert_with(v, &mut NormalCas);
+        debug_assert_eq!(r, InsertOutcome::Inserted);
+    }
+
+    /// Pop the most recently pushed element, if any. Lock-free.
+    pub fn pop(&self) -> Option<T> {
+        match self.remove_with(&mut NormalCas) {
+            RemoveOutcome::Removed(v) => Some(v),
+            RemoveOutcome::Empty => None,
+            RemoveOutcome::Aborted => unreachable!("NormalCas never aborts"),
+        }
+    }
+
+    /// Whether the stack was observed empty.
+    pub fn is_empty(&self) -> bool {
+        let g = pin();
+        self.top().read(&g) == 0
+    }
+
+    /// Racy O(n) count; only meaningful on a quiescent stack (tests).
+    pub fn count(&self) -> usize {
+        let g = pin();
+        let mut n = 0;
+        let mut cur = self.top().read(&g);
+        while cur != 0 {
+            n += 1;
+            // Safety: quiescent per the docs.
+            cur = unsafe { &(*(cur as *mut Node<T>)).next }.read(&g);
+        }
+        n
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Default for TreiberStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
+    /// Algorithm 6, `push` (lines S1–S12).
+    fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+        let g = pin();
+        let node = alloc_node(Some(elem)); // S2–S3
+        let mut bo = Backoff::new(self.backoff);
+        loop {
+            let ltop = self.top().read(&g); // S5
+            // S6: link the unpublished node.
+            // Safety: node is ours until the CAS publishes it.
+            unsafe { &(*node).next }.store_word(ltop);
+            // S7: the linearization point.
+            match ctx.scas(LinPoint {
+                word: self.top(),
+                old: ltop,
+                new: node as usize,
+                hp: self.header_addr(),
+            }) {
+                ScasResult::Abort => {
+                    // S8–S10.
+                    // Safety: never published.
+                    unsafe { free_unpublished_node(node) };
+                    return InsertOutcome::Rejected;
+                }
+                ScasResult::Success => return InsertOutcome::Inserted, // S11–S12
+                ScasResult::Fail => bo.fail(),
+            }
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> MoveSource<T> for TreiberStack<T> {
+    /// Algorithm 6, `pop` (lines S13–S24).
+    fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
+        let g = pin();
+        let mut bo = Backoff::new(self.backoff);
+        loop {
+            let ltop = self.top().read(&g); // S15
+            if ltop == 0 {
+                return RemoveOutcome::Empty; // S16–S17
+            }
+            g.set(slot::REM0, ltop); // S18
+            if self.top().read(&g) != ltop {
+                continue; // S19–S20
+            }
+            let node = ltop as *mut Node<T>;
+            // S21: the element is accessible before the linearization point.
+            // Safety: ltop is protected by REM0 and validated.
+            let val = unsafe { clone_val(node) };
+            // `ltop.next` is immutable while the node is linked.
+            let lnext = unsafe { &(*node).next }.read(&g);
+            // S22: the linearization point.
+            let r = ctx.scas(
+                LinPoint {
+                    word: self.top(),
+                    old: ltop,
+                    new: lnext,
+                    hp: self.header_addr(),
+                },
+                &val,
+            );
+            g.clear(slot::REM0);
+            match r {
+                ScasResult::Success => {
+                    // S23–S24.
+                    // Safety: unlinked by the successful CAS.
+                    unsafe { retire_node(node) };
+                    return RemoveOutcome::Removed(val);
+                }
+                ScasResult::Fail => bo.fail(),
+                ScasResult::Abort => return RemoveOutcome::Aborted,
+            }
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        let g = pin();
+        let mut cur = self.top().read(&g);
+        while cur != 0 {
+            let node = cur as *mut Node<T>;
+            // Safety: exclusive teardown; see MsQueue::drop.
+            let next = unsafe { &(*node).next }.read(&g);
+            unsafe { retire_node(node) };
+            cur = next;
+        }
+        // Safety: unique teardown.
+        unsafe { retire_solo_header(self.header) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let s: TreiberStack<u64> = TreiberStack::new();
+        assert!(s.is_empty());
+        for i in 0..100 {
+            s.push(i);
+        }
+        for i in (0..100).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn count_matches() {
+        let s: TreiberStack<u64> = TreiberStack::new();
+        for i in 0..9 {
+            s.push(i);
+        }
+        assert_eq!(s.count(), 9);
+        s.pop();
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn drop_reclaims_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Clone)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let before = DROPS.load(Ordering::SeqCst);
+        {
+            let s: TreiberStack<D> = TreiberStack::new();
+            for _ in 0..20 {
+                s.push(D);
+            }
+        }
+        lfc_hazard::flush();
+        assert_eq!(DROPS.load(Ordering::SeqCst) - before, 20);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_values() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const THREADS: u64 = 4;
+        const PER: u64 = 5_000;
+        let s: TreiberStack<u64> = TreiberStack::new();
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|sc| {
+            for t in 0..THREADS {
+                let s = &s;
+                let seen = &seen;
+                sc.spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..PER {
+                        s.push(t * PER + i);
+                        if i % 3 == 0 {
+                            if let Some(v) = s.pop() {
+                                mine.push(v);
+                            }
+                        }
+                    }
+                    let mut set = seen.lock().unwrap();
+                    for v in mine {
+                        assert!(set.insert(v), "duplicate {v}");
+                    }
+                });
+            }
+        });
+        // Drain the rest.
+        let mut set = seen.lock().unwrap();
+        while let Some(v) = s.pop() {
+            assert!(set.insert(v), "duplicate {v}");
+        }
+        assert_eq!(set.len() as u64, THREADS * PER, "no values lost");
+    }
+}

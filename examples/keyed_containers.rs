@@ -1,0 +1,51 @@
+//! The paper's opening scenario (§1.1): compose a hash map and a linked
+//! list so elements can be *moved* between them atomically — here, a
+//! session cache (map) and a sorted eviction list.
+//!
+//! ```sh
+//! cargo run --release --example keyed_containers
+//! ```
+
+use lockfree_compose::{move_keyed, LfHashMap, MoveOutcome, OrderedSet};
+
+fn main() {
+    // Active sessions, keyed by session id.
+    let active: LfHashMap<u64, String> = LfHashMap::new();
+    // Sessions pending eviction, sorted by id.
+    let evicting: OrderedSet<u64, String> = OrderedSet::new();
+
+    for id in [11, 7, 42, 3] {
+        active.insert(id, format!("session-{id}"));
+    }
+
+    // Atomically demote sessions 7 and 42: no observer can catch a session
+    // in limbo (gone from `active`, not yet in `evicting`) — the exact
+    // intermediate state the paper's Figure 1c shows for a plain
+    // remove+insert pair.
+    for id in [7u64, 42] {
+        assert_eq!(move_keyed(&active, &id, &evicting), MoveOutcome::Moved);
+        println!("demoted session {id}");
+    }
+
+    assert_eq!(active.count(), 2);
+    assert_eq!(evicting.count(), 2);
+    assert_eq!(evicting.get(&7).as_deref(), Some("session-7"));
+
+    // Moving a missing key fails cleanly...
+    assert_eq!(move_keyed(&active, &7, &evicting), MoveOutcome::SourceEmpty);
+    // ...and a key collision in the target aborts without touching either
+    // container (all-or-nothing).
+    active.insert(7, "session-7-reborn".to_string());
+    assert_eq!(move_keyed(&active, &7, &evicting), MoveOutcome::TargetRejected);
+    assert_eq!(active.get(&7).as_deref(), Some("session-7-reborn"));
+    assert_eq!(evicting.get(&7).as_deref(), Some("session-7"));
+
+    // Promote one back.
+    assert_eq!(move_keyed(&evicting, &42, &active), MoveOutcome::Moved);
+    println!("promoted session 42 back");
+    println!(
+        "final state: {} active, {} evicting",
+        active.count(),
+        evicting.count()
+    );
+}

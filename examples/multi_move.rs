@@ -1,0 +1,80 @@
+//! The n-object move (paper §8): fan a work item out to several consumers
+//! *atomically* — either every consumer's queue receives it (and it leaves
+//! the staging queue), or nothing changes anywhere.
+//!
+//! ```sh
+//! cargo run --release --example multi_move
+//! ```
+
+use lockfree_compose::{move_to_all, MoveOutcome, MsQueue, TreiberStack};
+
+fn main() {
+    let staging: MsQueue<u64> = MsQueue::new();
+    let audit_log: MsQueue<u64> = MsQueue::new();
+    let worker: TreiberStack<u64> = TreiberStack::new();
+    let replica: MsQueue<u64> = MsQueue::new();
+
+    for job in 0..5 {
+        staging.enqueue(job);
+    }
+
+    // Publish each staged job to the worker, the replica AND the audit log
+    // in one atomic step: a crash-style observer can never see a job that
+    // reached the worker but not the audit log.
+    let mut published = 0;
+    while move_to_all(&staging, &[&worker as &dyn AnyTarget, &replica, &audit_log])
+        == MoveOutcome::Moved
+    {
+        published += 1;
+    }
+    println!("published {published} jobs to 3 destinations atomically");
+
+    assert!(staging.is_empty());
+    for _ in 0..published {
+        let w = worker.pop().unwrap();
+        println!("worker got job {w}");
+    }
+    assert_eq!(
+        (0..5).map(|_| replica.dequeue().unwrap()).collect::<Vec<_>>(),
+        (0..5).collect::<Vec<_>>(),
+        "replica preserves staging order"
+    );
+    assert_eq!(audit_log.count(), 5);
+    println!("audit log complete: every job accounted for");
+}
+
+/// Object-safe adapter so heterogeneous targets (queue + stack) can share
+/// one `&[&dyn ...]` slice.
+trait AnyTarget: Sync {
+    fn do_insert(
+        &self,
+        v: u64,
+        ctx: &mut dyn lockfree_compose::InsertCtx,
+    ) -> lockfree_compose::InsertOutcome;
+}
+
+impl<X: lockfree_compose::MoveTarget<u64> + Sync> AnyTarget for X {
+    fn do_insert(
+        &self,
+        v: u64,
+        ctx: &mut dyn lockfree_compose::InsertCtx,
+    ) -> lockfree_compose::InsertOutcome {
+        struct Fwd<'a>(&'a mut dyn lockfree_compose::InsertCtx);
+        impl lockfree_compose::InsertCtx for Fwd<'_> {
+            fn scas(&mut self, lp: lockfree_compose::LinPoint<'_>) -> lockfree_compose::ScasResult {
+                self.0.scas(lp)
+            }
+        }
+        self.insert_with(v, &mut Fwd(ctx))
+    }
+}
+
+impl lockfree_compose::MoveTarget<u64> for dyn AnyTarget + '_ {
+    fn insert_with<C: lockfree_compose::InsertCtx>(
+        &self,
+        elem: u64,
+        ctx: &mut C,
+    ) -> lockfree_compose::InsertOutcome {
+        self.do_insert(elem, ctx)
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: compose a queue and a stack with an atomic move.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lockfree_compose::{move_one, MoveOutcome, MsQueue, TreiberStack};
+
+fn main() {
+    // Two independently designed lock-free objects...
+    let queue: MsQueue<String> = MsQueue::new();
+    let stack: TreiberStack<String> = TreiberStack::new();
+
+    queue.enqueue("first".to_string());
+    queue.enqueue("second".to_string());
+
+    // ...composed: dequeue from the queue and push onto the stack as ONE
+    // atomic action. No concurrent observer can catch the element missing
+    // from both containers (or present in both).
+    assert_eq!(move_one(&queue, &stack), MoveOutcome::Moved);
+    println!("moved the queue's head onto the stack");
+
+    assert_eq!(stack.pop().as_deref(), Some("first"));
+    assert_eq!(queue.dequeue().as_deref(), Some("second"));
+
+    // Moves report precise outcomes.
+    assert_eq!(move_one(&queue, &stack), MoveOutcome::SourceEmpty);
+    println!("source empty: the move failed cleanly");
+
+    // A stack moved onto itself would need both linearization points on the
+    // same word — impossible for a two-word CAS, reported as aliasing.
+    stack.push("self".to_string());
+    assert_eq!(move_one(&stack, &stack), MoveOutcome::WouldAlias);
+    println!("self-move detected and refused: {:?}", stack.pop());
+
+    println!("quickstart OK");
+}

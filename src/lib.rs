@@ -1,0 +1,54 @@
+//! # lockfree-compose
+//!
+//! A lock-free methodology for composing concurrent data objects, after
+//! Cederman & Tsigas, *Supporting Lock-Free Composition of Concurrent Data
+//! Objects* (PPoPP 2010).
+//!
+//! The crate provides atomic **move** operations between independently
+//! designed lock-free objects (queues, stacks, ordered sets, hash maps) by
+//! unifying the linearization points of the source's `remove` and the
+//! target's `insert` with a software double-word compare-and-swap.
+//!
+//! ```
+//! use lockfree_compose::{move_one, MoveOutcome, MsQueue, TreiberStack};
+//!
+//! let queue: MsQueue<u64> = MsQueue::new();
+//! let stack: TreiberStack<u64> = TreiberStack::new();
+//! queue.enqueue(42);
+//!
+//! // Atomically dequeue from the queue and push onto the stack: no
+//! // concurrent observer can see the element absent from both.
+//! assert_eq!(move_one(&queue, &stack), MoveOutcome::Moved);
+//! assert_eq!(stack.pop(), Some(42));
+//! assert_eq!(move_one(&queue, &stack), MoveOutcome::SourceEmpty);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduction of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use lfc_core::{
+    move_keyed, move_one, move_to_all, InsertCtx, InsertOutcome, KeyedMoveSource,
+    KeyedMoveTarget, LinPoint, MoveOutcome, MoveSource, MoveTarget, NormalCas, RemoveCtx,
+    RemoveOutcome, ScasResult, MAX_TARGETS,
+};
+pub use lfc_dcas::{DAtomic, DcasResult};
+pub use lfc_runtime::{Backoff, BackoffCfg, TtasLock};
+pub use lfc_structures::*;
+
+/// Re-export of the hazard-pointer domain (diagnostics and advanced use).
+pub mod hazard {
+    pub use lfc_hazard::{flush, pending_retired, pin, stats, Guard};
+}
+
+/// Re-export of the pooling allocator statistics.
+pub mod alloc_stats {
+    pub use lfc_alloc::{outstanding, stats, AllocStats};
+}
+
+/// Linearizability checking toolkit (used by the test-suite; public because
+/// it is generally useful for validating composed histories).
+pub mod linear {
+    pub use lfc_linear::{check_linearizable, CheckResult, Cont, Entry, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp, PairSpec, QueueOp, QueueSpec, Recorder, Spec, StackOp, StackSpec};
+}

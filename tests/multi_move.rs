@@ -1,0 +1,177 @@
+//! The n-object move extension (paper §8): remove from one object, insert
+//! into n others, all atomically.
+
+use lockfree_compose::{move_to_all, MoveOutcome, MsQueue, OneSlot, TreiberStack};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn broadcast_to_two_stacks() {
+    let q: MsQueue<u64> = MsQueue::new();
+    let a: TreiberStack<u64> = TreiberStack::new();
+    let b: TreiberStack<u64> = TreiberStack::new();
+    q.enqueue(7);
+    assert_eq!(move_to_all(&q, &[&a, &b]), MoveOutcome::Moved);
+    assert!(q.is_empty(), "element left the source");
+    assert_eq!(a.pop(), Some(7), "clone in target 1");
+    assert_eq!(b.pop(), Some(7), "clone in target 2");
+}
+
+#[test]
+fn broadcast_to_five_targets() {
+    let q: MsQueue<u64> = MsQueue::new();
+    let dsts: Vec<MsQueue<u64>> = (0..5).map(|_| MsQueue::new()).collect();
+    q.enqueue(42);
+    let refs: Vec<&MsQueue<u64>> = dsts.iter().collect();
+    assert_eq!(move_to_all(&q, &refs), MoveOutcome::Moved);
+    for d in &dsts {
+        assert_eq!(d.dequeue(), Some(42));
+    }
+}
+
+#[test]
+fn empty_source_reports_cleanly() {
+    let q: MsQueue<u64> = MsQueue::new();
+    let a: TreiberStack<u64> = TreiberStack::new();
+    assert_eq!(move_to_all(&q, &[&a]), MoveOutcome::SourceEmpty);
+    assert!(a.is_empty());
+}
+
+#[test]
+fn one_full_target_aborts_whole_broadcast() {
+    // All-or-nothing: if any target rejects, nothing moves anywhere.
+    let q: MsQueue<u64> = MsQueue::new();
+    let s1: OneSlot<u64> = OneSlot::new();
+    let s2: OneSlot<u64> = OneSlot::new();
+    q.enqueue(1);
+    s2.put(99); // second target is full
+    assert_eq!(move_to_all(&q, &[&s1, &s2]), MoveOutcome::TargetRejected);
+    assert_eq!(q.count(), 1, "source untouched");
+    assert!(!s1.is_occupied(), "first target untouched");
+    assert_eq!(s2.take(), Some(99));
+    // With both free the same broadcast succeeds.
+    assert!(s2.take().is_none());
+    assert_eq!(move_to_all(&q, &[&s1, &s2]), MoveOutcome::Moved);
+    assert_eq!(s1.take(), Some(1));
+    assert_eq!(s2.take(), Some(1));
+}
+
+#[test]
+fn duplicate_target_reports_aliasing() {
+    let q: MsQueue<u64> = MsQueue::new();
+    let s: TreiberStack<u64> = TreiberStack::new();
+    q.enqueue(5);
+    assert_eq!(move_to_all(&q, &[&s, &s]), MoveOutcome::WouldAlias);
+    assert_eq!(q.count(), 1, "nothing moved");
+    assert!(s.is_empty());
+}
+
+#[test]
+fn single_target_multi_move_equals_move_one() {
+    let q: MsQueue<u64> = MsQueue::new();
+    let s: TreiberStack<u64> = TreiberStack::new();
+    q.enqueue(3);
+    assert_eq!(move_to_all(&q, &[&s]), MoveOutcome::Moved);
+    assert_eq!(s.pop(), Some(3));
+}
+
+#[test]
+fn concurrent_broadcasts_deliver_everywhere_exactly_once() {
+    const TOKENS: u64 = 400;
+    let src: MsQueue<u64> = MsQueue::new();
+    let d1: MsQueue<u64> = MsQueue::new();
+    let d2: TreiberStack<u64> = TreiberStack::new();
+    for i in 0..TOKENS {
+        src.enqueue(i);
+    }
+    let moved = AtomicUsize::new(0);
+    std::thread::scope(|sc| {
+        let (src, d1, d2, moved) = (&src, &d1, &d2, &moved);
+        for _ in 0..3 {
+            sc.spawn(move || {
+                while move_to_all(src, &[d1 as &dyn Probe, d2 as &dyn Probe]) == MoveOutcome::Moved
+                {
+                    moved.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(moved.load(Ordering::Relaxed), TOKENS as usize);
+    let mut got1: Vec<u64> = std::iter::from_fn(|| d1.dequeue()).collect();
+    let mut got2: Vec<u64> = std::iter::from_fn(|| d2.pop()).collect();
+    got1.sort_unstable();
+    got2.sort_unstable();
+    let want: Vec<u64> = (0..TOKENS).collect();
+    assert_eq!(got1, want, "every token exactly once in target 1");
+    assert_eq!(got2, want, "every token exactly once in target 2");
+    assert!(src.is_empty());
+}
+
+/// Object-safe bridge so heterogeneous targets can share one slice: a tiny
+/// adapter trait with a blanket impl over every `MoveTarget<u64>`.
+trait Probe: Sync {
+    fn insert_probe(&self, v: u64, ctx: &mut dyn lockfree_compose::InsertCtx)
+        -> lockfree_compose::InsertOutcome;
+}
+
+impl<X: lockfree_compose::MoveTarget<u64> + Sync> Probe for X {
+    fn insert_probe(
+        &self,
+        v: u64,
+        ctx: &mut dyn lockfree_compose::InsertCtx,
+    ) -> lockfree_compose::InsertOutcome {
+        struct Fwd<'a>(&'a mut dyn lockfree_compose::InsertCtx);
+        impl lockfree_compose::InsertCtx for Fwd<'_> {
+            fn scas(&mut self, lp: lockfree_compose::LinPoint<'_>) -> lockfree_compose::ScasResult {
+                self.0.scas(lp)
+            }
+        }
+        self.insert_with(v, &mut Fwd(ctx))
+    }
+}
+
+impl lockfree_compose::MoveTarget<u64> for dyn Probe + '_ {
+    fn insert_with<C: lockfree_compose::InsertCtx>(
+        &self,
+        elem: u64,
+        ctx: &mut C,
+    ) -> lockfree_compose::InsertOutcome {
+        self.insert_probe(elem, ctx)
+    }
+}
+
+#[test]
+fn broadcasts_race_direct_traffic() {
+    // Broadcasters race direct pushers/poppers on the targets; per-target
+    // accounting must still balance.
+    const TOKENS: u64 = 300;
+    let src: MsQueue<u64> = MsQueue::new();
+    let d1: TreiberStack<u64> = TreiberStack::new();
+    let d2: TreiberStack<u64> = TreiberStack::new();
+    for i in 0..TOKENS {
+        src.enqueue(i);
+    }
+    let moved = AtomicUsize::new(0);
+    let direct_popped = AtomicUsize::new(0);
+    std::thread::scope(|sc| {
+        let (src, d1, d2, moved, direct_popped) = (&src, &d1, &d2, &moved, &direct_popped);
+        for _ in 0..2 {
+            sc.spawn(move || {
+                while move_to_all(src, &[d1, d2]) == MoveOutcome::Moved {
+                    moved.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        sc.spawn(move || {
+            for _ in 0..20_000 {
+                if d1.pop().is_some() {
+                    direct_popped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+    let moved = moved.load(Ordering::Relaxed);
+    let popped = direct_popped.load(Ordering::Relaxed);
+    assert_eq!(moved, TOKENS as usize);
+    assert_eq!(popped + d1.count(), moved, "target 1 balance");
+    assert_eq!(d2.count(), moved, "target 2 got every broadcast");
+}

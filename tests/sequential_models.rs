@@ -1,0 +1,153 @@
+//! Property-based sequential equivalence: random operation sequences on the
+//! move-ready structures must behave exactly like their obvious models
+//! (`VecDeque` for the queue, `Vec` for the stacks), including interleaved
+//! single-threaded moves checked against a two-container model.
+
+use lockfree_compose::{move_one, MoveOutcome, MsQueue, StampedStack, TreiberStack};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+enum QOp {
+    Enq(u64),
+    Deq,
+}
+
+fn qop() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        (0u64..1000).prop_map(QOp::Enq),
+        Just(QOp::Deq),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queue_matches_vecdeque(ops in proptest::collection::vec(qop(), 0..200)) {
+        let q: MsQueue<u64> = MsQueue::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                QOp::Enq(v) => {
+                    q.enqueue(v);
+                    model.push_back(v);
+                }
+                QOp::Deq => {
+                    prop_assert_eq!(q.dequeue(), model.pop_front());
+                }
+            }
+        }
+        // Drain and compare the remainder.
+        while let Some(v) = model.pop_front() {
+            prop_assert_eq!(q.dequeue(), Some(v));
+        }
+        prop_assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn treiber_matches_vec(ops in proptest::collection::vec(qop(), 0..200)) {
+        let s: TreiberStack<u64> = TreiberStack::new();
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                QOp::Enq(v) => {
+                    s.push(v);
+                    model.push(v);
+                }
+                QOp::Deq => {
+                    prop_assert_eq!(s.pop(), model.pop());
+                }
+            }
+        }
+        while let Some(v) = model.pop() {
+            prop_assert_eq!(s.pop(), Some(v));
+        }
+        prop_assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn stamped_matches_vec(ops in proptest::collection::vec(qop(), 0..200)) {
+        let s: StampedStack<u64> = StampedStack::new();
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                QOp::Enq(v) => {
+                    s.push(v);
+                    model.push(v);
+                }
+                QOp::Deq => {
+                    prop_assert_eq!(s.pop(), model.pop());
+                }
+            }
+        }
+        while let Some(v) = model.pop() {
+            prop_assert_eq!(s.pop(), Some(v));
+        }
+    }
+
+    #[test]
+    fn moves_match_two_container_model(
+        seed in proptest::collection::vec(0u64..1000, 0..30),
+        ops in proptest::collection::vec(0u8..5, 0..120),
+    ) {
+        // Single-threaded: queue + stack with interleaved ops and moves,
+        // checked against (VecDeque, Vec).
+        let q: MsQueue<u64> = MsQueue::new();
+        let s: TreiberStack<u64> = TreiberStack::new();
+        let mut mq: VecDeque<u64> = VecDeque::new();
+        let mut ms: Vec<u64> = Vec::new();
+        let mut next = 10_000u64;
+        for v in seed {
+            q.enqueue(v);
+            mq.push_back(v);
+        }
+        for op in ops {
+            match op {
+                0 => {
+                    q.enqueue(next);
+                    mq.push_back(next);
+                    next += 1;
+                }
+                1 => {
+                    s.push(next);
+                    ms.push(next);
+                    next += 1;
+                }
+                2 => prop_assert_eq!(q.dequeue(), mq.pop_front()),
+                3 => {
+                    // move queue -> stack
+                    let expected = mq.pop_front();
+                    let got = move_one(&q, &s);
+                    match expected {
+                        Some(v) => {
+                            prop_assert_eq!(got, MoveOutcome::Moved);
+                            ms.push(v);
+                        }
+                        None => prop_assert_eq!(got, MoveOutcome::SourceEmpty),
+                    }
+                }
+                _ => {
+                    // move stack -> queue
+                    let expected = ms.pop();
+                    let got = move_one(&s, &q);
+                    match expected {
+                        Some(v) => {
+                            prop_assert_eq!(got, MoveOutcome::Moved);
+                            mq.push_back(v);
+                        }
+                        None => prop_assert_eq!(got, MoveOutcome::SourceEmpty),
+                    }
+                }
+            }
+        }
+        while let Some(v) = mq.pop_front() {
+            prop_assert_eq!(q.dequeue(), Some(v));
+        }
+        while let Some(v) = ms.pop() {
+            prop_assert_eq!(s.pop(), Some(v));
+        }
+        prop_assert_eq!(q.dequeue(), None);
+        prop_assert_eq!(s.pop(), None);
+    }
+}
