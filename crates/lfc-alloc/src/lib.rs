@@ -20,7 +20,7 @@
 
 #![warn(missing_docs)]
 
-use lfc_runtime::{on_thread_exit, thread_is_exiting};
+use lfc_runtime::{on_thread_exit, thread_is_exiting, CachePadded};
 use std::alloc::Layout;
 use std::cell::Cell;
 use std::ptr::NonNull;
@@ -51,10 +51,13 @@ pub struct AllocStats {
     pub oversize: usize,
 }
 
-static FRESH: AtomicUsize = AtomicUsize::new(0);
-static RECYCLED: AtomicUsize = AtomicUsize::new(0);
-static FREED: AtomicUsize = AtomicUsize::new(0);
-static OVERSIZE: AtomicUsize = AtomicUsize::new(0);
+// Each counter padded to its own line: FREED is bumped on every free by
+// every thread and would otherwise false-share with FRESH/RECYCLED bumped
+// on every allocation.
+static FRESH: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+static RECYCLED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+static FREED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+static OVERSIZE: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
 
 /// A full (or partial, on thread exit) magazine pushed to the global stack.
 struct Segment {
@@ -120,7 +123,11 @@ impl TaggedStack {
     }
 }
 
-static GLOBAL: [TaggedStack; NUM_CLASSES] = [const { TaggedStack::new() }; NUM_CLASSES];
+// One padded stack head per size class: pushes to one class must not
+// invalidate the cached head of a neighbouring class (the heads are 8
+// bytes; unpadded, all seven shared one line).
+static GLOBAL: [CachePadded<TaggedStack>; NUM_CLASSES] =
+    [const { CachePadded::new(TaggedStack::new()) }; NUM_CLASSES];
 
 struct Magazines {
     local: [Vec<*mut u8>; NUM_CLASSES],
@@ -333,7 +340,9 @@ mod tests {
         let layout = l(128, 8);
         // Allocate and free more than LOCAL_CAP blocks so at least one full
         // magazine is pushed to the global stack.
-        let blocks: Vec<_> = (0..LOCAL_CAP * 2 + 10).map(|_| alloc_block(layout)).collect();
+        let blocks: Vec<_> = (0..LOCAL_CAP * 2 + 10)
+            .map(|_| alloc_block(layout))
+            .collect();
         for b in &blocks {
             unsafe { free_block(b.as_ptr(), layout) };
         }

@@ -3,119 +3,22 @@
 //! The paper motivates its custom DCAS over Harris et al.'s by needing
 //! fewer CASes in the uncontended case; this bench pins down the
 //! uncontended latency against the unattainable lower bound of two raw
-//! CASes, plus the cost of the `read` operation on a quiet word.
+//! CASes, plus the cost of the `read` operation on a quiet word and the
+//! contended two-thread case.
+//!
+//! Run with `cargo bench -p lfc-bench --bench dcas [-- --json]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lfc_dcas::{DAtomic, DcasResult, DescHandle};
-use lfc_hazard::pin;
-use std::hint::black_box;
-use std::time::Duration;
+use lfc_bench::harness::report;
+use lfc_bench::micro;
 
-fn dcas_uncontended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dcas");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
-
-    g.bench_function("success_uncontended", |b| {
-        let guard = pin();
-        let a = DAtomic::new(0);
-        let w = DAtomic::new(0);
-        let mut v = 0usize;
-        b.iter(|| {
-            let mut h = DescHandle::new();
-            h.set_first(&a, v, v + 8, 0);
-            h.set_second(&w, v, v + 8, 0);
-            let (r, _) = h.commit(&guard);
-            assert_eq!(r, DcasResult::Success);
-            v += 8;
-            black_box(v)
-        })
-    });
-
-    g.bench_function("two_raw_cas_lower_bound", |b| {
-        let a = DAtomic::new(0);
-        let w = DAtomic::new(0);
-        let mut v = 0usize;
-        b.iter(|| {
-            assert!(a.cas_word(v, v + 8));
-            assert!(w.cas_word(v, v + 8));
-            v += 8;
-            black_box(v)
-        })
-    });
-
-    g.bench_function("first_failed", |b| {
-        let guard = pin();
-        let a = DAtomic::new(0);
-        let w = DAtomic::new(0);
-        b.iter(|| {
-            let mut h = DescHandle::new();
-            h.set_first(&a, 0xDEAD0, 0xDEAD8, 0); // never matches
-            h.set_second(&w, 0, 8, 0);
-            let (r, _) = h.commit(&guard);
-            assert_eq!(r, DcasResult::FirstFailed);
-        })
-    });
-
-    g.bench_function("read_quiet_word", |b| {
-        let guard = pin();
-        let a = DAtomic::new(0x1000);
-        b.iter(|| black_box(a.read(&guard)))
-    });
-
-    g.bench_function("plain_load_lower_bound", |b| {
-        let a = DAtomic::new(0x1000);
-        b.iter(|| black_box(a.load_word()))
-    });
-
-    g.finish();
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let ms = micro::dcas();
+    if json {
+        for m in &ms {
+            println!("{}", m.to_json());
+        }
+    } else {
+        report("dcas", &ms);
+    }
 }
-
-fn dcas_contended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dcas_contended_2thr");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
-        .sample_size(10);
-    g.bench_function("shared_pair", |b| {
-        b.iter_custom(|iters| {
-            use std::sync::atomic::{AtomicBool, Ordering};
-            let a = DAtomic::new(0);
-            let w = DAtomic::new(0);
-            let stop = AtomicBool::new(false);
-            std::thread::scope(|sc| {
-                let (ar, wr, stopr) = (&a, &w, &stop);
-                sc.spawn(move || {
-                    let guard = pin();
-                    while !stopr.load(Ordering::Relaxed) {
-                        let o1 = ar.read(&guard);
-                        let o2 = wr.read(&guard);
-                        let mut h = DescHandle::new();
-                        h.set_first(ar, o1, o1 + 8, 0);
-                        h.set_second(wr, o2, o2 + 8, 0);
-                        let _ = h.commit(&guard);
-                    }
-                });
-                let guard = pin();
-                let start = std::time::Instant::now();
-                let mut done = 0;
-                while done < iters {
-                    let o1 = a.read(&guard);
-                    let o2 = w.read(&guard);
-                    let mut h = DescHandle::new();
-                    h.set_first(&a, o1, o1 + 8, 0);
-                    h.set_second(&w, o2, o2 + 8, 0);
-                    if let (DcasResult::Success, _) = h.commit(&guard) {
-                        done += 1;
-                    }
-                }
-                let e = start.elapsed();
-                stop.store(true, Ordering::Relaxed);
-                e
-            })
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(benches, dcas_uncontended, dcas_contended);
-criterion_main!(benches);

@@ -5,66 +5,67 @@
 //! compares the 1-target CASN-based move against the DCAS-based `move_one`
 //! (the paper's DCAS needs fewer CASes — this quantifies the gap).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfc_bench::harness::{bench, report, Measurement};
 use lfc_core::{move_one, move_to_all, MoveOutcome};
 use lfc_structures::MsQueue;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn multi_move_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("move_to_all_targets");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+fn multi_move_scaling() -> Vec<Measurement> {
+    let mut out = Vec::new();
     for n in 1..=5usize {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let src: MsQueue<u64> = MsQueue::new();
-            let dsts: Vec<MsQueue<u64>> = (0..n).map(|_| MsQueue::new()).collect();
-            let refs: Vec<&MsQueue<u64>> = dsts.iter().collect();
-            src.enqueue(1);
-            b.iter(|| {
-                let r = move_to_all(&src, &refs);
-                assert_eq!(r, MoveOutcome::Moved);
-                // Drain the broadcast clones and return the element so the
-                // next iteration starts from the same state.
-                for (i, d) in dsts.iter().enumerate() {
-                    let v = d.dequeue().unwrap();
-                    if i == 0 {
-                        src.enqueue(v);
-                    }
+        let src: MsQueue<u64> = MsQueue::new();
+        let dsts: Vec<MsQueue<u64>> = (0..n).map(|_| MsQueue::new()).collect();
+        let refs: Vec<&MsQueue<u64>> = dsts.iter().collect();
+        src.enqueue(1);
+        out.push(bench(&format!("move_to_all/targets_{n}"), || {
+            let r = move_to_all(&src, &refs);
+            assert_eq!(r, MoveOutcome::Moved);
+            // Drain the broadcast clones and return the element so the
+            // next iteration starts from the same state.
+            for (i, d) in dsts.iter().enumerate() {
+                let v = d.dequeue().unwrap();
+                if i == 0 {
+                    src.enqueue(v);
                 }
-                black_box(r)
-            })
-        });
+            }
+            black_box(r);
+        }));
     }
-    g.finish();
+    out
 }
 
-fn dcas_vs_casn_single_target(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_target_move");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
-
-    g.bench_function("move_one_dcas", |b| {
+fn dcas_vs_casn_single_target() -> Vec<Measurement> {
+    let mut out = Vec::new();
+    {
         let src: MsQueue<u64> = MsQueue::new();
         let dst: MsQueue<u64> = MsQueue::new();
         src.enqueue(1);
-        b.iter(|| {
+        out.push(bench("single_target_move/move_one_dcas", || {
             assert_eq!(move_one(&src, &dst), MoveOutcome::Moved);
             assert_eq!(move_one(&dst, &src), MoveOutcome::Moved);
-        })
-    });
-
-    g.bench_function("move_to_all_casn", |b| {
+        }));
+    }
+    {
         let src: MsQueue<u64> = MsQueue::new();
         let dst: MsQueue<u64> = MsQueue::new();
         src.enqueue(1);
-        b.iter(|| {
+        out.push(bench("single_target_move/move_to_all_casn", || {
             assert_eq!(move_to_all(&src, &[&dst]), MoveOutcome::Moved);
             src.enqueue(dst.dequeue().unwrap());
-        })
-    });
-    g.finish();
+        }));
+    }
+    out
 }
 
-criterion_group!(benches, multi_move_scaling, dcas_vs_casn_single_target);
-criterion_main!(benches);
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut ms = multi_move_scaling();
+    ms.extend(dcas_vs_casn_single_target());
+    if json {
+        for m in &ms {
+            println!("{}", m.to_json());
+        }
+    } else {
+        report("multi_move", &ms);
+    }
+}

@@ -3,112 +3,26 @@
 //! methodology. Compares the move-ready queue/stack (scas-transformed, reads
 //! through the DCAS `read` operation) against textbook `plain`
 //! implementations with identical memory management.
+//!
+//! Run with `cargo bench -p lfc-bench --bench overhead [-- --json]`; with
+//! `--json`, machine-readable results go to stdout, one object per line.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lfc_structures::{MsQueue, PlainMsQueue, PlainTreiberStack, TreiberStack};
-use std::hint::black_box;
-use std::time::Duration;
+use lfc_bench::harness::report;
+use lfc_bench::micro;
 
-fn queue_roundtrip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("queue_enqueue_dequeue");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
-    let plain: PlainMsQueue<u64> = PlainMsQueue::new();
-    g.bench_function("plain", |b| {
-        b.iter(|| {
-            plain.enqueue(black_box(1));
-            black_box(plain.dequeue())
-        })
-    });
-    let ready: MsQueue<u64> = MsQueue::new();
-    g.bench_function("move_ready", |b| {
-        b.iter(|| {
-            ready.enqueue(black_box(1));
-            black_box(ready.dequeue())
-        })
-    });
-    g.finish();
-}
-
-fn stack_roundtrip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stack_push_pop");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
-    let plain: PlainTreiberStack<u64> = PlainTreiberStack::new();
-    g.bench_function("plain", |b| {
-        b.iter(|| {
-            plain.push(black_box(1));
-            black_box(plain.pop())
-        })
-    });
-    let ready: TreiberStack<u64> = TreiberStack::new();
-    g.bench_function("move_ready", |b| {
-        b.iter(|| {
-            ready.push(black_box(1));
-            black_box(ready.pop())
-        })
-    });
-    g.finish();
-}
-
-fn contended_queue(c: &mut Criterion) {
-    // 2-thread contended throughput: one side runs in a background thread.
-    let mut g = c.benchmark_group("queue_contended_2thr");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
-        .sample_size(10);
-    for ready in [false, true] {
-        let name = if ready { "move_ready" } else { "plain" };
-        g.bench_function(name, |b| {
-            b.iter_custom(|iters| {
-                use std::sync::atomic::{AtomicBool, Ordering};
-                let stop = AtomicBool::new(false);
-                if ready {
-                    let q: MsQueue<u64> = MsQueue::new();
-                    std::thread::scope(|sc| {
-                        let qr = &q;
-                        let stopr = &stop;
-                        sc.spawn(move || {
-                            while !stopr.load(Ordering::Relaxed) {
-                                qr.enqueue(2);
-                                black_box(qr.dequeue());
-                            }
-                        });
-                        let start = std::time::Instant::now();
-                        for _ in 0..iters {
-                            q.enqueue(black_box(1));
-                            black_box(q.dequeue());
-                        }
-                        let e = start.elapsed();
-                        stop.store(true, Ordering::Relaxed);
-                        e
-                    })
-                } else {
-                    let q: PlainMsQueue<u64> = PlainMsQueue::new();
-                    std::thread::scope(|sc| {
-                        let qr = &q;
-                        let stopr = &stop;
-                        sc.spawn(move || {
-                            while !stopr.load(Ordering::Relaxed) {
-                                qr.enqueue(2);
-                                black_box(qr.dequeue());
-                            }
-                        });
-                        let start = std::time::Instant::now();
-                        for _ in 0..iters {
-                            q.enqueue(black_box(1));
-                            black_box(q.dequeue());
-                        }
-                        let e = start.elapsed();
-                        stop.store(true, Ordering::Relaxed);
-                        e
-                    })
-                }
-            })
-        });
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let ms = micro::overhead();
+    if json {
+        for m in &ms {
+            println!("{}", m.to_json());
+        }
+    } else {
+        report("overhead (move-ready vs plain)", &ms);
+        println!(
+            "\nqueue overhead ratio: {:.3}x   stack overhead ratio: {:.3}x",
+            micro::overhead_ratio(&ms, "queue_enqueue_dequeue"),
+            micro::overhead_ratio(&ms, "stack_push_pop"),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, queue_roundtrip, stack_roundtrip, contended_queue);
-criterion_main!(benches);

@@ -9,107 +9,84 @@
 //! top vs the stamped top, and prints the `stale_mark_reverts` counter delta
 //! (each revert is one false-helping episode).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lfc_bench::harness::{bench, bench_custom, report, Measurement};
 use lfc_core::move_one;
 use lfc_structures::{StampedStack, TreiberStack};
 use std::hint::black_box;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-fn move_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stack_stack_move_2thr");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
-        .sample_size(10);
+fn move_throughput() -> Vec<Measurement> {
+    let mut out = Vec::new();
 
-    g.bench_function("treiber", |b| {
-        b.iter_custom(|iters| {
-            use std::sync::atomic::{AtomicBool, Ordering};
-            let x: TreiberStack<u64> = TreiberStack::new();
-            let y: TreiberStack<u64> = TreiberStack::new();
-            for i in 0..64 {
-                x.push(i);
-            }
-            let stop = AtomicBool::new(false);
-            std::thread::scope(|sc| {
-                let (xr, yr, stopr) = (&x, &y, &stop);
-                sc.spawn(move || {
-                    while !stopr.load(Ordering::Relaxed) {
-                        let _ = move_one(yr, xr);
-                    }
-                });
-                let start = std::time::Instant::now();
-                for _ in 0..iters {
-                    black_box(move_one(&x, &y));
+    out.push(bench_custom("stack_stack_move_2thr/treiber", |iters| {
+        let x: TreiberStack<u64> = TreiberStack::new();
+        let y: TreiberStack<u64> = TreiberStack::new();
+        for i in 0..64 {
+            x.push(i);
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            let (xr, yr, stopr) = (&x, &y, &stop);
+            sc.spawn(move || {
+                while !stopr.load(Ordering::Relaxed) {
+                    let _ = move_one(yr, xr);
                 }
-                let e = start.elapsed();
-                stop.store(true, Ordering::Relaxed);
-                e
-            })
-        })
-    });
-
-    g.bench_function("stamped", |b| {
-        b.iter_custom(|iters| {
-            use std::sync::atomic::{AtomicBool, Ordering};
-            let x: StampedStack<u64> = StampedStack::new();
-            let y: StampedStack<u64> = StampedStack::new();
-            for i in 0..64 {
-                x.push(i);
+            });
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                black_box(move_one(&x, &y));
             }
-            let stop = AtomicBool::new(false);
-            std::thread::scope(|sc| {
-                let (xr, yr, stopr) = (&x, &y, &stop);
-                sc.spawn(move || {
-                    while !stopr.load(Ordering::Relaxed) {
-                        let _ = move_one(yr, xr);
-                    }
-                });
-                let start = std::time::Instant::now();
-                for _ in 0..iters {
-                    black_box(move_one(&x, &y));
-                }
-                let e = start.elapsed();
-                stop.store(true, Ordering::Relaxed);
-                e
-            })
+            let e = start.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            e
         })
-    });
-    g.finish();
+    }));
+
+    out.push(bench_custom("stack_stack_move_2thr/stamped", |iters| {
+        let x: StampedStack<u64> = StampedStack::new();
+        let y: StampedStack<u64> = StampedStack::new();
+        for i in 0..64 {
+            x.push(i);
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            let (xr, yr, stopr) = (&x, &y, &stop);
+            sc.spawn(move || {
+                while !stopr.load(Ordering::Relaxed) {
+                    let _ = move_one(yr, xr);
+                }
+            });
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                black_box(move_one(&x, &y));
+            }
+            let e = start.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            e
+        })
+    }));
+
+    out
 }
 
-fn normal_op_cost(c: &mut Criterion) {
+fn normal_op_cost() -> Vec<Measurement> {
     // The paper's caveat: the counter "somewhat lowers the performance of
     // the normal insert and remove operations".
-    let mut g = c.benchmark_group("stack_normal_ops");
-    g.measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+    let mut out = Vec::new();
     let t: TreiberStack<u64> = TreiberStack::new();
-    g.bench_function("treiber_push_pop", |b| {
-        b.iter(|| {
-            t.push(black_box(1));
-            black_box(t.pop())
-        })
-    });
+    out.push(bench("stack_normal_ops/treiber_push_pop", || {
+        t.push(black_box(1));
+        black_box(t.pop());
+    }));
     let s: StampedStack<u64> = StampedStack::new();
-    g.bench_function("stamped_push_pop", |b| {
-        b.iter(|| {
-            s.push(black_box(1));
-            black_box(s.pop())
-        })
-    });
-    g.finish();
+    out.push(bench("stack_normal_ops/stamped_push_pop", || {
+        s.push(black_box(1));
+        black_box(s.pop());
+    }));
+    out
 }
 
-fn false_helping_report(c: &mut Criterion) {
-    // Not a timing benchmark: runs a fixed two-thread move storm on each
-    // stack flavour and reports the false-helping counter delta.
-    let mut g = c.benchmark_group("false_helping_counter");
-    g.sample_size(10).measurement_time(Duration::from_secs(1));
-    g.bench_function("report", |b| {
-        b.iter(|| 1); // keep criterion happy; the work happens below once
-    });
-    g.finish();
-
+fn false_helping_report() {
     // The ABA needs several helpers racing the same hot words plus
     // preemption (paper §7 saw it at 16 threads); run 6 movers per flavour.
     const ROUNDS: usize = 30_000;
@@ -167,5 +144,16 @@ fn false_helping_report(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, move_throughput, normal_op_cost, false_helping_report);
-criterion_main!(benches);
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut ms = move_throughput();
+    ms.extend(normal_op_cost());
+    if json {
+        for m in &ms {
+            println!("{}", m.to_json());
+        }
+    } else {
+        report("stamped_ablation", &ms);
+        false_helping_report();
+    }
+}

@@ -1,4 +1,5 @@
-//! Regenerates the paper's evaluation figures.
+//! Regenerates the paper's evaluation figures, and captures the repo's
+//! standing hot-path micro-benchmarks.
 //!
 //! ```text
 //! reproduce fig2            # queue/stack  (paper Figure 2)
@@ -6,7 +7,12 @@
 //! reproduce fig4            # stack/stack  (paper Figure 4)
 //! reproduce all
 //! reproduce fig2 --backoff  # §6–§7 "with backoff" variant
+//! reproduce bench --label optimized [--out BENCH_run.json]
 //! ```
+//!
+//! `bench` runs the hot-path micro-suite (uncontended `move_one`, contended
+//! DCAS, raw-structure overhead ratios) and emits one JSON object, the
+//! format recorded in `BENCH_results.json` for the perf trajectory.
 //!
 //! Options: `--ops N` (total operations, default 1,000,000), `--trials K`
 //! (default 10; paper uses 5,000,000/50), `--threads 1,2,4,8,16`, `--csv`.
@@ -74,7 +80,9 @@ fn parse_args() -> Options {
         i += 1;
     }
     if figures.is_empty() {
-        eprintln!("usage: reproduce <fig2|fig3|fig4|all> [--backoff] [--ops N] [--trials K] [--threads 1,2,..] [--csv]");
+        eprintln!(
+            "usage: reproduce <fig2|fig3|fig4|all> [--backoff] [--ops N] [--trials K] [--threads 1,2,..] [--csv]\n       reproduce bench [--label NAME] [--out FILE.json]"
+        );
         std::process::exit(2);
     }
     Options {
@@ -87,7 +95,79 @@ fn parse_args() -> Options {
     }
 }
 
+/// `reproduce bench`: run the hot-path micro-suite and emit one JSON run
+/// object (the unit recorded in `BENCH_results.json`).
+fn run_bench_capture(args: &[String]) {
+    use lfc_bench::micro;
+
+    let mut label = "unlabeled".to_string();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                i += 1;
+                label = value(args, i, "--label");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(value(args, i, "--out"));
+            }
+            other => {
+                eprintln!("unknown bench argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("capturing hot-path micro-benchmarks ({label})...");
+    let mut results = Vec::new();
+    results.push(micro::move_uncontended());
+    results.push(micro::move_contended());
+    let overhead = micro::overhead();
+    let q_ratio = micro::overhead_ratio(&overhead, "queue_enqueue_dequeue");
+    let s_ratio = micro::overhead_ratio(&overhead, "stack_push_pop");
+    results.extend(overhead);
+    results.extend(micro::dcas());
+
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\n  \"label\": \"{}\",\n  \"results\": [\n",
+        lfc_bench::harness::json_escape(&label)
+    ));
+    for (i, m) in results.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&m.to_json());
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str(&format!(
+        "  ],\n  \"overhead_ratio_queue\": {q_ratio:.4},\n  \"overhead_ratio_stack\": {s_ratio:.4}\n}}\n"
+    ));
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write bench output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}
+
 fn main() {
+    {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.first().map(String::as_str) == Some("bench") {
+            run_bench_capture(&args[1..]);
+            return;
+        }
+    }
     let opt = parse_args();
     // The paper tunes the backoff "so as to give the best performance to the
     // blocking implementation"; these constants behave well on small hosts.
@@ -99,9 +179,16 @@ fn main() {
 
     for (name, pair) in &opt.figures {
         if !opt.csv {
-            println!("\n=== {name}{} — total sync time (ms), {} ops, {} trials ===",
-                if opt.backoff { ", with backoff" } else { ", no backoff" },
-                opt.total_ops, opt.trials);
+            println!(
+                "\n=== {name}{} — total sync time (ms), {} ops, {} trials ===",
+                if opt.backoff {
+                    ", with backoff"
+                } else {
+                    ", no backoff"
+                },
+                opt.total_ops,
+                opt.trials
+            );
         }
         for (mix_name, mix) in [
             ("insert/remove only", Mix::OpsOnly),
@@ -112,11 +199,7 @@ fn main() {
                 println!("\n--- {mix_name} ---");
                 println!(
                     "{:>8} | {:>22} | {:>22} | {:>22} | {:>22}",
-                    "threads",
-                    "lock-free high",
-                    "blocking high",
-                    "lock-free low",
-                    "blocking low"
+                    "threads", "lock-free high", "blocking high", "lock-free low", "blocking low"
                 );
             }
             for &threads in &opt.threads {

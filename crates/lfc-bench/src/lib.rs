@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod micro;
 pub mod stats;
 pub mod workload;
 

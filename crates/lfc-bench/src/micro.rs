@@ -1,0 +1,196 @@
+//! The repo's standing micro-benchmarks: hot-path latencies whose history
+//! is tracked in `BENCH_results.json` (see the `reproduce bench`
+//! subcommand). Shared by the `overhead` and `dcas` bench targets so the
+//! standalone benches and the JSON capture measure exactly the same thing.
+
+use crate::harness::{bench, bench_custom, Measurement};
+use lfc_core::{move_one, MoveOutcome};
+use lfc_dcas::{DAtomic, DcasResult, DescHandle};
+use lfc_hazard::pin;
+use lfc_structures::{MsQueue, PlainMsQueue, PlainTreiberStack, TreiberStack};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Experiment OVH: move-ready structures vs. textbook `plain` versions with
+/// identical memory management (the paper's "operations keep their
+/// performance behavior" claim). Returns the four roundtrip measurements;
+/// derive the ratios with [`overhead_ratio`].
+pub fn overhead() -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    let plain: PlainMsQueue<u64> = PlainMsQueue::new();
+    out.push(bench("queue_enqueue_dequeue/plain", || {
+        plain.enqueue(black_box(1));
+        black_box(plain.dequeue());
+    }));
+    let ready: MsQueue<u64> = MsQueue::new();
+    out.push(bench("queue_enqueue_dequeue/move_ready", || {
+        ready.enqueue(black_box(1));
+        black_box(ready.dequeue());
+    }));
+
+    let plain: PlainTreiberStack<u64> = PlainTreiberStack::new();
+    out.push(bench("stack_push_pop/plain", || {
+        plain.push(black_box(1));
+        black_box(plain.pop());
+    }));
+    let ready: TreiberStack<u64> = TreiberStack::new();
+    out.push(bench("stack_push_pop/move_ready", || {
+        ready.push(black_box(1));
+        black_box(ready.pop());
+    }));
+
+    out
+}
+
+/// Overhead ratio (move-ready / plain) for a structure prefix in `ms`.
+pub fn overhead_ratio(ms: &[Measurement], prefix: &str) -> f64 {
+    let get = |suffix: &str| {
+        ms.iter()
+            .find(|m| m.name == format!("{prefix}/{suffix}"))
+            .map(|m| m.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    get("move_ready") / get("plain")
+}
+
+/// Experiment DCAS: software-DCAS latency against the two-raw-CAS lower
+/// bound, plus the quiet-word `read` cost.
+pub fn dcas() -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    {
+        let guard = pin();
+        let a = DAtomic::new(0);
+        let w = DAtomic::new(0);
+        let mut v = 0usize;
+        out.push(bench("dcas/success_uncontended", || {
+            let mut h = DescHandle::new();
+            h.set_first(&a, v, v + 8, 0);
+            h.set_second(&w, v, v + 8, 0);
+            let (r, _) = h.commit(&guard);
+            assert_eq!(r, DcasResult::Success);
+            v += 8;
+            black_box(v);
+        }));
+    }
+
+    {
+        let a = DAtomic::new(0);
+        let w = DAtomic::new(0);
+        let mut v = 0usize;
+        out.push(bench("dcas/two_raw_cas_lower_bound", || {
+            assert!(a.cas_word(v, v + 8));
+            assert!(w.cas_word(v, v + 8));
+            v += 8;
+            black_box(v);
+        }));
+    }
+
+    {
+        let guard = pin();
+        let a = DAtomic::new(0);
+        let w = DAtomic::new(0);
+        out.push(bench("dcas/first_failed", || {
+            let mut h = DescHandle::new();
+            h.set_first(&a, 0xDEAD0, 0xDEAD8, 0); // never matches
+            h.set_second(&w, 0, 8, 0);
+            let (r, _) = h.commit(&guard);
+            assert_eq!(r, DcasResult::FirstFailed);
+        }));
+    }
+
+    {
+        let guard = pin();
+        let a = DAtomic::new(0x1000);
+        out.push(bench("dcas/read_quiet_word", || {
+            black_box(a.read(&guard));
+        }));
+        out.push(bench("dcas/plain_load_lower_bound", || {
+            black_box(a.load_word());
+        }));
+    }
+
+    out.push(dcas_contended());
+    out
+}
+
+/// Two threads hammering the same word pair; measures successful DCASes on
+/// the measuring thread.
+pub fn dcas_contended() -> Measurement {
+    bench_custom("dcas/contended_2thr_shared_pair", |iters| {
+        let a = DAtomic::new(0);
+        let w = DAtomic::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            let (ar, wr, stopr) = (&a, &w, &stop);
+            sc.spawn(move || {
+                let guard = pin();
+                while !stopr.load(Ordering::Relaxed) {
+                    let o1 = ar.read(&guard);
+                    let o2 = wr.read(&guard);
+                    let mut h = DescHandle::new();
+                    h.set_first(ar, o1, o1 + 8, 0);
+                    h.set_second(wr, o2, o2 + 8, 0);
+                    let _ = h.commit(&guard);
+                }
+            });
+            let guard = pin();
+            let start = std::time::Instant::now();
+            let mut done = 0;
+            while done < iters {
+                let o1 = a.read(&guard);
+                let o2 = w.read(&guard);
+                let mut h = DescHandle::new();
+                h.set_first(&a, o1, o1 + 8, 0);
+                h.set_second(&w, o2, o2 + 8, 0);
+                if let (DcasResult::Success, _) = h.commit(&guard) {
+                    done += 1;
+                }
+            }
+            let e = start.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            e
+        })
+    })
+}
+
+/// Uncontended composed move: the headline latency this repo tracks. A
+/// single-element queue↔queue ping-pong, so every `move_one` finds work.
+pub fn move_uncontended() -> Measurement {
+    let src: MsQueue<u64> = MsQueue::new();
+    let dst: MsQueue<u64> = MsQueue::new();
+    src.enqueue(1);
+    bench("move/uncontended_queue_queue", || {
+        assert_eq!(move_one(&src, &dst), MoveOutcome::Moved);
+        assert_eq!(move_one(&dst, &src), MoveOutcome::Moved);
+    })
+}
+
+/// Contended composed move: two threads moving opposite directions between
+/// a shared pair of stacks (the paper's hardest case, §7).
+pub fn move_contended() -> Measurement {
+    bench_custom("move/contended_2thr_stack_stack", |iters| {
+        let x: TreiberStack<u64> = TreiberStack::new();
+        let y: TreiberStack<u64> = TreiberStack::new();
+        for i in 0..64 {
+            x.push(i);
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            let (xr, yr, stopr) = (&x, &y, &stop);
+            sc.spawn(move || {
+                while !stopr.load(Ordering::Relaxed) {
+                    let _ = move_one(yr, xr);
+                }
+            });
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                black_box(move_one(&x, &y));
+            }
+            let e = start.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            e
+        })
+    })
+}

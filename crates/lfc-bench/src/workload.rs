@@ -2,9 +2,8 @@
 
 use lfc_core::move_one;
 use lfc_runtime::BackoffCfg;
+use lfc_runtime::SmallRng;
 use lfc_structures::{lock_move, LockQueue, LockStack, MsQueue, TreiberStack};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -184,8 +183,7 @@ fn local_work(rng: &mut SmallRng, mean_ns: u64) -> u64 {
     }
     let lo = mean_ns / 2;
     let hi = mean_ns + mean_ns / 2;
-    let sample =
-        (rng.gen_range(lo..=hi) + rng.gen_range(lo..=hi) + rng.gen_range(lo..=hi)) / 3;
+    let sample = (rng.range_incl(lo, hi) + rng.range_incl(lo, hi) + rng.range_incl(lo, hi)) / 3;
     let start = Instant::now();
     let d = Duration::from_nanos(sample);
     while start.elapsed() < d {
@@ -214,11 +212,12 @@ pub fn run_trial(cfg: &RunCfg, seed: u64) -> TrialResult {
             let barrier = &barrier;
             let failed = &failed;
             handles.push(sc.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 barrier.wait();
                 let mut my_work = 0u64;
                 for i in 0..ops_per_thread {
-                    let r: u32 = rng.gen();
+                    let r = rng.next_u32();
                     let do_move = match cfg.mix {
                         Mix::OpsOnly => false,
                         Mix::MoveOnly => true,

@@ -41,18 +41,16 @@ impl<K: Clone, T: Clone, D: KeyedMoveTarget<K, T> + ?Sized> RemoveCtx<T>
     for KeyedRemoveCtx<'_, K, T, D>
 {
     fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult {
+        // Lazily allocated: an absent key never touches the descriptor pool.
         self.state
             .desc
-            .as_mut()
-            .expect("descriptor present until the move decides")
+            .get_or_insert_with(DescHandle::new)
             .set_first(lp.word, lp.old, lp.new, lp.hp);
         self.state.ins_failed = true;
         let inserted = self.target.insert_key_with(
             self.key.clone(),
             elem.clone(),
-            &mut crate::MoveInsertCtx {
-                state: self.state,
-            },
+            &mut crate::MoveInsertCtx { state: self.state },
         );
         if self.state.ins_failed {
             return ScasResult::Abort;
@@ -77,7 +75,7 @@ where
 {
     let mut state = MoveState {
         g: pin(),
-        desc: Some(DescHandle::new()),
+        desc: None,
         ins_failed: false,
         aliased: false,
     };

@@ -187,11 +187,12 @@ pub(crate) struct MoveInsertCtx<'a> {
 
 impl<T: Clone, D: MoveTarget<T> + ?Sized> RemoveCtx<T> for MoveRemoveCtx<'_, T, D> {
     fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult {
-        // M10–M14: store the remove-side CAS triple in the descriptor.
+        // M10–M14: store the remove-side CAS triple in the descriptor,
+        // allocating it lazily — a move on an empty source returns before
+        // ever reaching a linearization point and never touches the pool.
         self.state
             .desc
-            .as_mut()
-            .expect("descriptor present until the move decides")
+            .get_or_insert_with(DescHandle::new)
             .set_first(lp.word, lp.old, lp.new, lp.hp);
         // M15: assume the insert never reaches its linearization point.
         self.state.ins_failed = true;
@@ -265,7 +266,7 @@ where
 {
     let mut state = MoveState {
         g: pin(),
-        desc: Some(DescHandle::new()),
+        desc: None,
         ins_failed: false,
         aliased: false,
     };

@@ -171,7 +171,11 @@ fn self_move_fails_cleanly() {
     let a: Slot<u64> = Slot::new();
     a.insert(9);
     assert_eq!(move_one(&a, &a), MoveOutcome::TargetRejected);
-    assert_eq!(a.remove(), Some(9), "slot unchanged after self-move attempt");
+    assert_eq!(
+        a.remove(),
+        Some(9),
+        "slot unchanged after self-move attempt"
+    );
 }
 
 #[test]
@@ -287,7 +291,9 @@ fn movers_compete_with_direct_removers() {
             s.spawn(move || {
                 for v in 0..N {
                     while !a.insert(v) {
-                        std::hint::spin_loop();
+                        // One hardware thread in CI: yield so the mover and
+                        // drainer stages can run inside the same timeslice.
+                        std::thread::yield_now();
                     }
                 }
             });
@@ -299,7 +305,9 @@ fn movers_compete_with_direct_removers() {
             let done = done.clone();
             s.spawn(move || {
                 while done.load(Ordering::Relaxed) == 0 {
-                    let _ = move_one(&*a, &*b);
+                    if move_one(&*a, &*b) != MoveOutcome::Moved {
+                        std::thread::yield_now();
+                    }
                 }
             });
         }
@@ -313,6 +321,8 @@ fn movers_compete_with_direct_removers() {
                 while got.len() < N as usize {
                     if let Some(v) = b.remove() {
                         got.push(v);
+                    } else {
+                        std::thread::yield_now();
                     }
                 }
                 collected.lock().unwrap().extend(got);

@@ -32,32 +32,58 @@ impl DAtomic {
 
     /// Plain load. May expose an in-flight descriptor; use [`DAtomic::read`]
     /// unless you are the protocol itself.
+    ///
+    /// SeqCst (audited, required): `load_word` is the *validation-grade*
+    /// load. It is used (a) after a hazard-slot publication, where it forms
+    /// the load half of the Michael store→load Dekker pair (an Acquire load
+    /// could be satisfied before the slot store became visible to a
+    /// scanner), and (b) by read-only operations whose results feed the
+    /// linearizability checker, where a stale-but-coherent Acquire read
+    /// would break real-time ordering. CAS-based paths do not pay for this:
+    /// RMWs always observe the latest value in modification order.
     #[inline]
     pub fn load_word(&self) -> Word {
         self.0.load(Ordering::SeqCst)
     }
 
     /// Single-word CAS, returning success.
+    ///
+    /// AcqRel/Acquire (relaxed from SeqCst): a linearization-point CAS must
+    /// publish the writes that prepared `new` (Release) and observe the
+    /// state published by the CAS that installed `old` (Acquire). No
+    /// protocol decision hinges on a *total* order of CASes to different
+    /// words: cross-word agreement in the DCAS/CASN protocols always goes
+    /// through an RMW on a single decision word (`res`/`status`), and RMWs
+    /// read the latest value in modification order regardless of ordering.
     #[inline]
     pub fn cas_word(&self, old: Word, new: Word) -> bool {
         self.0
-            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 
     /// Single-word CAS reporting the value seen on failure.
+    ///
+    /// AcqRel/Acquire: as [`DAtomic::cas_word`]; the failure value is used
+    /// to follow descriptor pointers, so the failure load must be Acquire
+    /// (it pairs with the Release publication of the descriptor's fields).
     #[inline]
     pub fn cas_val(&self, old: Word, new: Word) -> Result<(), Word> {
         self.0
-            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
             .map(|_| ())
     }
 
-    /// Unsynchronized-looking store for initialization paths where the word
-    /// is not yet (or no longer) shared.
+    /// Store for initialization paths where the word is not yet (or no
+    /// longer) shared.
+    ///
+    /// Release (relaxed from SeqCst): the store only needs to be ordered
+    /// after the initialization writes it publishes; the word itself
+    /// becomes reachable through some later linearization CAS (Release),
+    /// whose observers acquire it transitively.
     #[inline]
     pub fn store_word(&self, w: Word) {
-        self.0.store(w, Ordering::SeqCst);
+        self.0.store(w, Ordering::Release);
     }
 
     /// The paper's `read` operation: returns a raw value, helping any
@@ -71,7 +97,9 @@ impl DAtomic {
     /// protecting hazard of their installer is released (see `dcas`).
     #[inline]
     pub fn read(&self, g: &Guard) -> Word {
-        let w = self.0.load(Ordering::SeqCst);
+        // SeqCst via `load_word` (audited): read-only results participate
+        // in real-time linearizability — see `load_word`.
+        let w = self.load_word();
         if word::is_raw(w) {
             return w;
         }
@@ -81,12 +109,14 @@ impl DAtomic {
     #[cold]
     fn read_slow(&self, g: &Guard) -> Word {
         loop {
-            let w = self.0.load(Ordering::SeqCst);
+            let w = self.load_word();
             match word::kind(w) {
                 word::KIND_RAW => return w,
                 word::KIND_DCAS => {
                     g.set(slot::DESC, word::desc_addr(w));
-                    if self.0.load(Ordering::SeqCst) == w {
+                    // SeqCst validation load (audited): the load half of
+                    // the hazard Dekker pair with `g.set` above.
+                    if self.load_word() == w {
                         // Safety: the descriptor is hazard-protected and was
                         // re-validated to still be installed.
                         unsafe { dcas::help(w, g) };
@@ -96,7 +126,8 @@ impl DAtomic {
                 _ => {
                     // CASN / RDCSS descriptors (n-object move extension).
                     g.set(slot::DESC, word::desc_addr(w));
-                    if self.0.load(Ordering::SeqCst) == w {
+                    // SeqCst validation load (audited): as above.
+                    if self.load_word() == w {
                         // Safety: as above.
                         unsafe { crate::kcas::help_word(w, self, g) };
                     }

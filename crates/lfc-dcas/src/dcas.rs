@@ -30,7 +30,9 @@
 use crate::atomic::DAtomic;
 use crate::word::{self, Word};
 use lfc_hazard::{slot, Guard};
+use lfc_runtime::{on_thread_exit, solo, thread_is_exiting};
 use std::alloc::Layout;
+use std::cell::Cell;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -83,9 +85,123 @@ unsafe impl Sync for DcasDesc {}
 
 const DESC_LAYOUT: Layout = Layout::new::<DcasDesc>();
 
+/// Per-thread descriptor pool capacity. A thread can have at most a
+/// handful of descriptors logically in flight (one per composed move
+/// attempt), but retired descriptors return in scan-sized bursts; 64 keeps
+/// those bursts local without hoarding.
+const DESC_POOL_CAP: usize = 64;
+
+/// Per-thread free list of ready-to-reuse descriptors.
+///
+/// `DescHandle::new` on the seed path paid, per DCAS attempt: a size-class
+/// lookup plus magazine pop in `lfc-alloc` and a full 9-field descriptor
+/// write. The pool reduces the hit path to one `Vec::pop` and a single
+/// `res` reset — the CAS triples are overwritten by `set_first` /
+/// `set_second` anyway. Reuse is safe because descriptors only enter the
+/// pool from (a) a dropped never-published handle (no other thread ever
+/// knew the address) or (b) the hazard domain's reclaimer, which runs only
+/// once no thread holds a protection — exactly the point at which handing
+/// the block to a *different* allocation would also have been legal.
+struct DescPool {
+    free: Vec<NonNull<DcasDesc>>,
+}
+
+thread_local! {
+    static POOL: Cell<*mut DescPool> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+fn with_pool<R>(f: impl FnOnce(&mut DescPool) -> R) -> R {
+    POOL.with(|cell| {
+        let mut p = cell.get();
+        if p.is_null() {
+            p = Box::into_raw(Box::new(DescPool { free: Vec::new() }));
+            cell.set(p);
+            on_thread_exit(Box::new(move || {
+                POOL.with(|c| c.set(std::ptr::null_mut()));
+                // Safety: created above; the hook runs once per thread.
+                let pool = unsafe { Box::from_raw(p) };
+                for d in pool.free {
+                    // Safety: pooled blocks came from `alloc_block` with the
+                    // descriptor layout and are unreachable.
+                    unsafe { lfc_alloc::free_block(d.as_ptr() as *mut u8, DESC_LAYOUT) };
+                }
+            }));
+        }
+        // Safety: thread-exclusive, not re-entered.
+        f(unsafe { &mut *p })
+    })
+}
+
+/// Allocate a descriptor: pool hit, or a fresh pool-backed block.
+fn alloc_desc() -> NonNull<DcasDesc> {
+    if !thread_is_exiting() {
+        let hit = with_pool(|pool| pool.free.pop());
+        if let Some(d) = hit {
+            counters::DESC_POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            // Safety: unreachable by any other thread (see `DescPool`);
+            // Relaxed reset is enough — publication happens-before is
+            // established by the announcing CAS, never by this store.
+            unsafe { d.as_ref() }
+                .res
+                .store(RES_UNDECIDED, Ordering::Relaxed);
+            #[cfg(debug_assertions)]
+            // Safety: exclusively owned; poison the triple pointers so a
+            // commit without set_first/set_second trips the debug asserts.
+            unsafe {
+                let m = &mut *d.as_ptr();
+                m.ptr1 = std::ptr::null();
+                m.ptr2 = std::ptr::null();
+            }
+            return d;
+        }
+    }
+    counters::DESC_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    let block = lfc_alloc::alloc_block(DESC_LAYOUT).cast::<DcasDesc>();
+    // Safety: freshly allocated, properly aligned and sized.
+    unsafe {
+        block.as_ptr().write(DcasDesc {
+            ptr1: std::ptr::null(),
+            old1: 0,
+            new1: 0,
+            hp1: 0,
+            ptr2: std::ptr::null(),
+            old2: 0,
+            new2: 0,
+            hp2: 0,
+            res: AtomicUsize::new(RES_UNDECIDED),
+        });
+    }
+    block
+}
+
+/// Return an unreachable descriptor to the pool (or the backing allocator).
+///
+/// # Safety
+///
+/// `d` must be a live descriptor no thread can reach: either never
+/// published, or past its hazard-domain reclamation point.
+unsafe fn dealloc_desc(d: NonNull<DcasDesc>) {
+    if !thread_is_exiting() {
+        let pooled = with_pool(|pool| {
+            if pool.free.len() < DESC_POOL_CAP {
+                pool.free.push(d);
+                true
+            } else {
+                false
+            }
+        });
+        if pooled {
+            return;
+        }
+    }
+    // Safety: forwarded contract; block came from `alloc_block`.
+    unsafe { lfc_alloc::free_block(d.as_ptr() as *mut u8, DESC_LAYOUT) };
+}
+
 unsafe fn reclaim_desc(p: *mut u8) {
-    // DcasDesc has no drop glue; just return the block to the pool.
-    unsafe { lfc_alloc::free_block(p, DESC_LAYOUT) };
+    // DcasDesc has no drop glue; recycle the block through the pool.
+    // Safety: the hazard domain guarantees unreachability.
+    unsafe { dealloc_desc(NonNull::new_unchecked(p as *mut DcasDesc)) };
 }
 
 /// Uniquely owned, unpublished descriptor.
@@ -106,24 +222,9 @@ impl std::fmt::Debug for DescHandle {
 }
 
 impl DescHandle {
-    /// Allocate a fresh descriptor (pool-backed, 512-aligned).
+    /// Allocate a fresh descriptor (per-thread pooled, 512-aligned).
     pub fn new() -> Self {
-        let block = lfc_alloc::alloc_block(DESC_LAYOUT).cast::<DcasDesc>();
-        // Safety: freshly allocated, properly aligned and sized.
-        unsafe {
-            block.as_ptr().write(DcasDesc {
-                ptr1: std::ptr::null(),
-                old1: 0,
-                new1: 0,
-                hp1: 0,
-                ptr2: std::ptr::null(),
-                old2: 0,
-                new2: 0,
-                hp2: 0,
-                res: AtomicUsize::new(RES_UNDECIDED),
-            });
-        }
-        DescHandle { desc: block }
+        DescHandle { desc: alloc_desc() }
     }
 
     fn desc(&self) -> &DcasDesc {
@@ -163,10 +264,19 @@ impl DescHandle {
 
     /// Publish the descriptor and run the DCAS as the initiating process.
     ///
-    /// Returns the result plus a handle for the next attempt: the same
-    /// (never-published) descriptor after `FirstFailed`, a fresh copy
-    /// carrying the first-side triple after `SecondFailed` (paper line M30,
-    /// `new DCASDesc(desc)`), and `None` after `Success`.
+    /// Returns the result plus a handle for the next attempt: a handle
+    /// carrying the first-side triple after `FirstFailed`/`SecondFailed`
+    /// (paper line M30, `new DCASDesc(desc)`), and `None` after `Success`.
+    ///
+    /// # Uncontended fast path
+    ///
+    /// In the solo regime ([`lfc_runtime::solo`]) — this thread is the only
+    /// registered thread, and the registration handshake keeps it that way
+    /// for the duration — no helper can observe the operation, so the
+    /// descriptor is never published: the two CASes run back to back, with
+    /// a revert of the first on a second-word mismatch. The intermediate
+    /// state is unobservable by construction, which is exactly the
+    /// atomicity the descriptor protocol exists to provide.
     pub fn commit(self, g: &Guard) -> (DcasResult, Option<DescHandle>) {
         let addr = self.desc.as_ptr() as usize;
         debug_assert_eq!(
@@ -175,6 +285,37 @@ impl DescHandle {
             "descriptor reuse after publication"
         );
         debug_assert!(!self.desc().ptr1.is_null() && !self.desc().ptr2.is_null());
+
+        {
+            let d = self.desc();
+            // Aliased words can never succeed and take the slow path so the
+            // outcome matches the published protocol (SECONDFAILED: the
+            // second comparison sees the announcement, not `old2`).
+            if !std::ptr::eq(d.ptr1, d.ptr2) {
+                if let Some(_solo) = solo::try_enter() {
+                    // Safety: target allocations are kept alive by the
+                    // initiating operation's borrows/hazards, as on the
+                    // slow path.
+                    let ptr1 = unsafe { &*d.ptr1 };
+                    let ptr2 = unsafe { &*d.ptr2 };
+                    if !ptr1.cas_word(d.old1, d.new1) {
+                        return (DcasResult::FirstFailed, Some(self));
+                    }
+                    if !ptr2.cas_word(d.old2, d.new2) {
+                        // Unobservable intermediate: revert the first word.
+                        // The handle was never published, so the caller
+                        // reuses it directly (its first triple is intact).
+                        let reverted = ptr1.cas_word(d.new1, d.old1);
+                        debug_assert!(reverted, "solo-mode revert cannot be contended");
+                        return (DcasResult::SecondFailed, Some(self));
+                    }
+                    // Success: never published, so Drop recycles the
+                    // descriptor straight into the pool — no retire scan.
+                    return (DcasResult::Success, None);
+                }
+            }
+        }
+
         // Safety: we own the descriptor; `dcas_run` publishes it.
         let result = unsafe { dcas_run(word::dcas_plain(addr), true, g) };
         match result {
@@ -217,9 +358,10 @@ impl DescHandle {
 impl Drop for DescHandle {
     fn drop(&mut self) {
         // Unpublished handle dropped without commit (e.g. move aborted in
-        // the remove init-phase): no helper can know it, free directly.
+        // the remove init-phase, or a solo fast-path success): no helper
+        // can know the address, so it goes straight back to the pool.
         // Safety: uniquely owned.
-        unsafe { reclaim_desc(self.desc.as_ptr() as *mut u8) };
+        unsafe { dealloc_desc(self.desc) };
     }
 }
 
@@ -229,12 +371,20 @@ impl Default for DescHandle {
     }
 }
 
-/// Diagnostic counters (Relaxed; used by the false-helping ablation bench).
+/// Diagnostic counters (Relaxed; used by the false-helping ablation bench
+/// and the pooling tests). Each is cache-line padded so bumping one from
+/// many threads cannot false-share with the others.
 pub mod counters {
+    use lfc_runtime::CachePadded;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    pub(crate) static HELP_RUNS: AtomicUsize = AtomicUsize::new(0);
-    pub(crate) static STALE_MARK_REVERTS: AtomicUsize = AtomicUsize::new(0);
+    pub(crate) static HELP_RUNS: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+    pub(crate) static STALE_MARK_REVERTS: CachePadded<AtomicUsize> =
+        CachePadded::new(AtomicUsize::new(0));
+    pub(crate) static DESC_POOL_HITS: CachePadded<AtomicUsize> =
+        CachePadded::new(AtomicUsize::new(0));
+    pub(crate) static DESC_POOL_MISSES: CachePadded<AtomicUsize> =
+        CachePadded::new(AtomicUsize::new(0));
 
     /// Number of helper invocations of the DCAS (each is a `read` that found
     /// a descriptor and joined the protocol).
@@ -247,6 +397,16 @@ pub mod counters {
     /// §7 discussion attributes to the stack.
     pub fn stale_mark_reverts() -> usize {
         STALE_MARK_REVERTS.load(Ordering::Relaxed)
+    }
+
+    /// Descriptor allocations served by the per-thread pool.
+    pub fn desc_pool_hits() -> usize {
+        DESC_POOL_HITS.load(Ordering::Relaxed)
+    }
+
+    /// Descriptor allocations that fell through to `lfc-alloc`.
+    pub fn desc_pool_misses() -> usize {
+        DESC_POOL_MISSES.load(Ordering::Relaxed)
     }
 }
 
@@ -311,13 +471,21 @@ fn dcas_body(desc: &DcasDesc, desc_word: Word, initiator: bool, g: &Guard) -> Dc
     let ptr2 = unsafe { &*desc.ptr2 };
 
     // D4–D9: already decided — fix up the word we came through and return.
+    // SeqCst (audited, required): for a helper this load is the validation
+    // half of the Dekker pair with the HELP1/HELP2 hazard stores in
+    // `dcas_run` — if `res` is still undecided, the initiator is still
+    // inside its operation and its hazards covered the target allocations
+    // while ours were published (Lemma 6). An Acquire load could be
+    // satisfied before those hazard stores became visible to a scanner.
     let r0 = desc.res.load(Ordering::SeqCst);
     if r0 == RES_SUCCESS || r0 == RES_SECONDFAILED {
         finish_decided(desc, desc_word, plain, r0, ptr1, ptr2);
         return decode(r0);
     }
 
-    // D10–D11: the initiator announces the operation.
+    // D10–D11: the initiator announces the operation. The CAS's Release
+    // publishes the descriptor's (immutable) fields to every helper that
+    // Acquire-reads the word.
     if initiator && !ptr1.cas_word(desc.old1, plain) {
         return DcasResult::FirstFailed;
     }
@@ -337,13 +505,21 @@ fn dcas_body(desc: &DcasDesc, desc_word: Word, initiator: bool, g: &Guard) -> Dc
             cur
         } else {
             // D17: genuine mismatch — try to decide SECONDFAILED.
+            // AcqRel/Acquire (audited): decisions are serialized by this
+            // RMW's modification order on `res` alone; no cross-location
+            // fence is involved. Release publishes nothing here (failure
+            // changes no word), Acquire pairs with the winning side's
+            // Release so the post-decision fix-ups below see its writes.
             let _ = desc.res.compare_exchange(
                 RES_UNDECIDED,
                 RES_SECONDFAILED,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::AcqRel,
+                Ordering::Acquire,
             );
-            let r = desc.res.load(Ordering::SeqCst);
+            // Acquire (audited): pairs with the Release of whichever RMW
+            // decided `res`; same-location coherence gives the latest
+            // decision.
+            let r = desc.res.load(Ordering::Acquire);
             if r == RES_SUCCESS {
                 return DcasResult::Success; // D18–D19
             }
@@ -359,14 +535,18 @@ fn dcas_body(desc: &DcasDesc, desc_word: Word, initiator: bool, g: &Guard) -> Dc
 
     // D24: promote the installed marked word. While `res` is undecided the
     // second word cannot change (all competing CASes expect `old2`), so a
-    // successful promotion certifies `installed` is in place.
+    // successful promotion certifies `installed` is in place — an argument
+    // built on same-location coherence of `*ptr2` and the total
+    // modification order of `res`, neither of which needs SeqCst.
+    // AcqRel/Acquire (audited) as at D17.
     let _ = desc.res.compare_exchange(
         RES_UNDECIDED,
         installed,
-        Ordering::SeqCst,
-        Ordering::SeqCst,
+        Ordering::AcqRel,
+        Ordering::Acquire,
     );
-    let r = desc.res.load(Ordering::SeqCst);
+    // Acquire (audited): as at D17.
+    let r = desc.res.load(Ordering::Acquire);
 
     if r == RES_SECONDFAILED {
         // D25–D27: decision went against us; undo our installation (if any)
@@ -398,12 +578,14 @@ fn dcas_body(desc: &DcasDesc, desc_word: Word, initiator: bool, g: &Guard) -> Dc
     }
     // D28–D30: complete. `*ptr1` swings from the announcement to `new1`
     // exactly once; `*ptr2` swings from exactly the winner to `new2` exactly
-    // once; only then is SUCCESS published.
+    // once; only then is SUCCESS published. AcqRel/Acquire (audited): the
+    // Release orders both swings before SUCCESS for any Acquire reader of
+    // `res`; the swings themselves are AcqRel CASes on their own words.
     ptr1.cas_word(plain, desc.new1);
     ptr2.cas_word(winner, desc.new2);
     let _ = desc
         .res
-        .compare_exchange(winner, RES_SUCCESS, Ordering::SeqCst, Ordering::SeqCst);
+        .compare_exchange(winner, RES_SUCCESS, Ordering::AcqRel, Ordering::Acquire);
     DcasResult::Success
 }
 
@@ -487,6 +669,8 @@ pub mod test_support {
     /// Descriptor must still be alive.
     pub unsafe fn res_state(desc_word: Word) -> usize {
         let desc = unsafe { &*(word::desc_addr(desc_word) as *const DcasDesc) };
-        desc.res.load(Ordering::SeqCst)
+        // Acquire (audited): test assertions only need the latest decision
+        // via `res`'s own modification order.
+        desc.res.load(Ordering::Acquire)
     }
 }

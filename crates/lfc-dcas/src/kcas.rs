@@ -170,14 +170,12 @@ impl CasnHandle {
 
     /// Record entry `i` (must be `count()`); entries need not be sorted.
     pub fn set_entry(&mut self, idx: usize, ptr: &DAtomic, old: Word, new: Word, hp: usize) {
-        assert!(idx < MAX_ENTRIES, "CASN supports at most {MAX_ENTRIES} entries");
+        assert!(
+            idx < MAX_ENTRIES,
+            "CASN supports at most {MAX_ENTRIES} entries"
+        );
         let d = self.desc_mut();
-        d.entries[idx] = CasnEntry {
-            ptr,
-            old,
-            new,
-            hp,
-        };
+        d.entries[idx] = CasnEntry { ptr, old, new, hp };
         d.count = d.count.max(idx + 1);
     }
 
@@ -282,7 +280,13 @@ fn rdcss(desc_word: Word, g: &Guard) -> Word {
 fn rdcss_complete(d: &RdcssDesc, desc_word: Word) {
     // Safety: status points into a CASN descriptor pinned by the RDCSS
     // installer's hazard (module docs).
-    let undecided = unsafe { (*d.status).load(Ordering::SeqCst) } == ST_UNDECIDED;
+    // Acquire (audited): must be ordered after the RDCSS install CAS (the
+    // caller's AcqRel RMW, which a later Acquire load cannot be hoisted
+    // above) and pairs with the Release of the deciding status RMW. The
+    // classic RDCSS argument then needs only `status`'s own modification
+    // order: if we read UNDECIDED here, the conditional install is
+    // permitted; a later decision re-runs `rdcss_complete` via helping.
+    let undecided = unsafe { (*d.status).load(Ordering::Acquire) } == ST_UNDECIDED;
     let new = if undecided { d.casn_word } else { d.old };
     // Safety: the target word's allocation is protected by whoever reached
     // this descriptor (installer: entry hp; helper: the word it came
@@ -301,6 +305,11 @@ fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnRe
             g.set(slot::KCAS0 + i, d.entries[i].hp);
         }
     }
+    // SeqCst (audited, required): for a helper this is the validation half
+    // of the Dekker pair with the KCAS* hazard publications just above —
+    // the same argument as the DCAS `res` load at D4 (Lemma 6,
+    // generalized). Acquire would let this load be satisfied before the
+    // hazard stores became visible to a reclamation scan.
     let st0 = d.status.load(Ordering::SeqCst);
     if st0 != ST_UNDECIDED && !owner {
         // Late helper: the adopted protections above cannot be validated
@@ -314,7 +323,10 @@ fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnRe
     }
 
     // Phase 1: install the descriptor in every word with RDCSS.
-    let mut status = d.status.load(Ordering::SeqCst);
+    // Acquire (audited): decisions travel through `status`'s modification
+    // order; the owner needs no hazard Dekker (it owns the descriptor) and
+    // helpers already paid SeqCst at `st0`.
+    let mut status = d.status.load(Ordering::Acquire);
     if status == ST_UNDECIDED {
         'install: for i in 0..n {
             let e = &d.entries[i];
@@ -323,7 +335,8 @@ fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnRe
             retire_rdcss(rd);
             if seen == e.old {
                 // Installed (or already decided; re-checked here).
-                if d.status.load(Ordering::SeqCst) != ST_UNDECIDED {
+                // Acquire (audited): as the phase-1 entry load.
+                if d.status.load(Ordering::Acquire) != ST_UNDECIDED {
                     break 'install;
                 }
                 continue;
@@ -335,22 +348,28 @@ fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnRe
             // either way the entry cannot be installed now; a foreign
             // operation's presence means it made progress, so failing keeps
             // the system lock-free (depth-1 helping policy, module docs).
+            // AcqRel/Acquire (audited): the decision is serialized by this
+            // RMW's modification order on `status` alone, exactly as the
+            // DCAS `res` CASes at D17/D24.
             let _ = d.status.compare_exchange(
                 ST_UNDECIDED,
                 ST_FAILED_BASE + i,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::AcqRel,
+                Ordering::Acquire,
             );
             break 'install;
         }
         // All installed (and still undecided): decide success.
+        // AcqRel/Acquire (audited): as above; Release additionally orders
+        // the phase-1 installs before SUCCEEDED for Acquire readers.
         let _ = d.status.compare_exchange(
             ST_UNDECIDED,
             ST_SUCCEEDED,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::AcqRel,
+            Ordering::Acquire,
         );
-        status = d.status.load(Ordering::SeqCst);
+        // Acquire (audited): latest decision via modification order.
+        status = d.status.load(Ordering::Acquire);
     }
 
     // Phase 2: swing every word off the descriptor.
@@ -440,12 +459,7 @@ mod tests {
     use super::*;
     use lfc_hazard::pin;
 
-    fn entryless_commit(
-        g: &Guard,
-        words: &[&DAtomic],
-        olds: &[Word],
-        news: &[Word],
-    ) -> CasnResult {
+    fn entryless_commit(g: &Guard, words: &[&DAtomic], olds: &[Word], news: &[Word]) -> CasnResult {
         let mut h = CasnHandle::new();
         for (i, w) in words.iter().enumerate() {
             h.set_entry(i, w, olds[i], news[i], 0);

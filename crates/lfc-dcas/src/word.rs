@@ -107,7 +107,6 @@ pub fn rdcss_word(addr: usize) -> Word {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn raw_detection() {
@@ -153,25 +152,32 @@ mod tests {
         assert!(desc_addr(dcas_marked(DESC_ALIGN, 3)) >= DESC_ALIGN);
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_marked(addr_blocks in 1usize..1_000_000, tid in 0u16..126) {
-            let addr = addr_blocks * DESC_ALIGN;
+    #[test]
+    fn roundtrip_marked_randomized() {
+        let mut rng = lfc_runtime::SmallRng::seed_from_u64(0xD0C5);
+        for _ in 0..2_000 {
+            let addr = (1 + rng.below(1_000_000) as usize) * DESC_ALIGN;
+            let tid = rng.below(126) as u16;
             let w = dcas_marked(addr, tid);
-            prop_assert_eq!(desc_addr(w), addr);
-            prop_assert_eq!(dcas_tid_field(w), tid as usize + 1);
-            prop_assert_eq!(kind(w), KIND_DCAS);
+            assert_eq!(desc_addr(w), addr);
+            assert_eq!(dcas_tid_field(w), tid as usize + 1);
+            assert_eq!(kind(w), KIND_DCAS);
         }
+    }
 
-        #[test]
-        fn kinds_partition(addr_blocks in 1usize..1_000_000) {
-            let addr = addr_blocks * DESC_ALIGN;
+    #[test]
+    fn kinds_partition_randomized() {
+        let mut rng = lfc_runtime::SmallRng::seed_from_u64(0xFACE);
+        for _ in 0..2_000 {
+            let addr = (1 + rng.below(1_000_000) as usize) * DESC_ALIGN;
             let words = [addr, dcas_plain(addr), casn_word(addr), rdcss_word(addr)];
             for (i, a) in words.iter().enumerate() {
                 for (j, b) in words.iter().enumerate() {
-                    if i != j { prop_assert_ne!(a, b); }
+                    if i != j {
+                        assert_ne!(a, b);
+                    }
                 }
-                prop_assert_eq!(desc_addr(*a), addr);
+                assert_eq!(desc_addr(*a), addr);
             }
         }
     }

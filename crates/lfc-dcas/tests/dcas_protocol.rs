@@ -9,7 +9,14 @@ use lfc_hazard::pin;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-fn commit(a: &DAtomic, old1: usize, new1: usize, b: &DAtomic, old2: usize, new2: usize) -> DcasResult {
+fn commit(
+    a: &DAtomic,
+    old1: usize,
+    new1: usize,
+    b: &DAtomic,
+    old2: usize,
+    new2: usize,
+) -> DcasResult {
     let g = pin();
     let mut h = DescHandle::new();
     h.set_first(a, old1, new1, 0);
@@ -250,7 +257,11 @@ fn disjoint_pairs_proceed_independently() {
                     h.set_first(&w1, o1, o1 + 8, 0);
                     h.set_second(&w2, o2, o2 + 8, 0);
                     let (r, _) = h.commit(&g);
-                    assert_eq!(r, DcasResult::Success, "thread {t} iter {k}: no contention, must succeed");
+                    assert_eq!(
+                        r,
+                        DcasResult::Success,
+                        "thread {t} iter {k}: no contention, must succeed"
+                    );
                 }
             });
         }
@@ -289,9 +300,17 @@ fn shared_second_word_serializes() {
 
     let g = pin();
     let s = successes.load(Ordering::Relaxed);
-    assert_eq!(shared.read(&g), 8 * s, "every success advanced the shared word once");
+    assert_eq!(
+        shared.read(&g),
+        8 * s,
+        "every success advanced the shared word once"
+    );
     let private_sum: usize = privates.iter().map(|p| p.read(&g)).sum();
-    assert_eq!(private_sum, 8 * s, "every success advanced exactly one private word");
+    assert_eq!(
+        private_sum,
+        8 * s,
+        "every success advanced exactly one private word"
+    );
 }
 
 #[test]

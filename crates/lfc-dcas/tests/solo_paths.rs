@@ -1,0 +1,130 @@
+//! Deterministic coverage of the solo (single-thread) DCAS fast path.
+//!
+//! This file intentionally holds **one** test function: integration tests
+//! in one binary run on a thread pool, and a sibling test's `pin()` would
+//! register a second thread and disable the solo regime. With a single
+//! test, the solo branch of `DescHandle::commit` is guaranteed taken for
+//! the first phase, and the spawned-thread phase guarantees the fallback
+//! branch — both outcomes asserted against the protocol's contract.
+
+use lfc_dcas::{DAtomic, DcasResult, DescHandle};
+use lfc_hazard::pin;
+
+#[test]
+fn solo_fast_path_matches_protocol_semantics() {
+    let g = pin();
+    assert_eq!(
+        lfc_runtime::active_threads(),
+        1,
+        "this binary must contain exactly this one test"
+    );
+
+    // Success: both words swing.
+    let a = DAtomic::new(8);
+    let b = DAtomic::new(16);
+    let mut h = DescHandle::new();
+    h.set_first(&a, 8, 24, 0);
+    h.set_second(&b, 16, 32, 0);
+    let (r, next) = h.commit(&g);
+    assert_eq!(r, DcasResult::Success);
+    assert!(next.is_none());
+    assert_eq!(a.read(&g), 24);
+    assert_eq!(b.read(&g), 32);
+
+    // FirstFailed: nothing changes, handle comes back for reuse.
+    let mut h = DescHandle::new();
+    h.set_first(&a, 96, 40, 0);
+    h.set_second(&b, 32, 40, 0);
+    let (r, next) = h.commit(&g);
+    assert_eq!(r, DcasResult::FirstFailed);
+    assert_eq!(a.read(&g), 24);
+    assert_eq!(b.read(&g), 32);
+
+    // SecondFailed: the first word's swing must be reverted (Lemma 4), and
+    // the returned handle still carries a usable first triple.
+    let mut h = next.expect("handle after FirstFailed");
+    h.set_first(&a, 24, 40, 0);
+    h.set_second(&b, 96, 40, 0);
+    let (r, next) = h.commit(&g);
+    assert_eq!(r, DcasResult::SecondFailed);
+    assert_eq!(a.read(&g), 24, "first word reverted");
+    assert_eq!(b.read(&g), 32);
+    let mut h = next.expect("handle after SecondFailed");
+    h.set_second(&b, 32, 40, 0);
+    let (r, _) = h.commit(&g);
+    assert_eq!(r, DcasResult::Success);
+    assert_eq!(a.read(&g), 40);
+    assert_eq!(b.read(&g), 40);
+
+    // Aliased words take the slow path even solo and fail cleanly.
+    let w = DAtomic::new(8);
+    let mut h = DescHandle::new();
+    h.set_first(&w, 8, 16, 0);
+    h.set_second(&w, 8, 24, 0);
+    let (r, _) = h.commit(&g);
+    assert_eq!(r, DcasResult::SecondFailed);
+    assert_eq!(w.read(&g), 8);
+
+    // A successful solo commit never publishes, so it must not add to the
+    // hazard domain's retire backlog.
+    let before = lfc_hazard::stats().0;
+    for i in 0..1_000usize {
+        let o = 40 + i * 8;
+        let mut h = DescHandle::new();
+        h.set_first(&a, o, o + 8, 0);
+        h.set_second(&b, o, o + 8, 0);
+        let (r, _) = h.commit(&g);
+        assert_eq!(r, DcasResult::Success);
+    }
+    assert_eq!(
+        lfc_hazard::stats().0,
+        before,
+        "solo successes bypass retire entirely"
+    );
+
+    // Registration of a second thread ends the solo regime: the same
+    // operations still work (now through the descriptor protocol), and the
+    // registration barrier means the new thread can never observe a torn
+    // pair.
+    let a2 = &a;
+    let b2 = &b;
+    std::thread::scope(|sc| {
+        let watcher = sc.spawn(move || {
+            let g = pin();
+            // Every DCAS advances both words by 8 with b swinging last, so
+            // reading b before a must observe a >= b; both reads must be
+            // raw multiples of 8 (helping resolved any descriptor), and a
+            // is monotone.
+            let mut last_a = 0;
+            for _ in 0..20_000 {
+                let y = b2.read(&g);
+                let x = a2.read(&g);
+                assert_eq!(x % 8, 0, "raw value");
+                assert_eq!(y % 8, 0, "raw value");
+                assert!(x >= y, "a read after b cannot lag it: {x} < {y}");
+                assert!(x >= last_a, "a is monotone");
+                last_a = x;
+            }
+        });
+        let g = pin();
+        // ACTIVE is now >= 2 at least until the watcher finishes; commits
+        // in this window exercise the published protocol.
+        let mut o = a.read(&g);
+        for _ in 0..20_000 {
+            let mut h = DescHandle::new();
+            h.set_first(&a, o, o + 8, 0);
+            h.set_second(&b, o, o + 8, 0);
+            match h.commit(&g) {
+                (DcasResult::Success, _) => o += 8,
+                _ => o = a.read(&g),
+            }
+        }
+        watcher.join().unwrap();
+    });
+    let g = pin();
+    assert_eq!(
+        a.read(&g),
+        b.read(&g),
+        "pair in lockstep after mixed regimes"
+    );
+}

@@ -35,14 +35,25 @@ impl CheckResult {
 /// 128-bit linearized-set).
 pub fn check_linearizable<S: Spec>(spec: &S, history: &[Entry<S::Op>]) -> CheckResult {
     let n = history.len();
-    assert!(n <= 128, "checker supports histories of at most 128 operations");
+    assert!(
+        n <= 128,
+        "checker supports histories of at most 128 operations"
+    );
     if n == 0 {
         return CheckResult::Linearizable(Vec::new());
     }
     let full: u128 = if n == 128 { !0 } else { (1u128 << n) - 1 };
     let mut visited: HashSet<(u128, S::State)> = HashSet::new();
     let mut witness = Vec::with_capacity(n);
-    if dfs(spec, history, 0, &spec.init(), full, &mut visited, &mut witness) {
+    if dfs(
+        spec,
+        history,
+        0,
+        &spec.init(),
+        full,
+        &mut visited,
+        &mut witness,
+    ) {
         CheckResult::Linearizable(witness)
     } else {
         CheckResult::NotLinearizable
@@ -77,7 +88,15 @@ fn dfs<S: Spec>(
         }
         if let Some(next) = spec.apply(state, &e.op) {
             witness.push(i);
-            if dfs(spec, history, done | (1 << i), &next, full, visited, witness) {
+            if dfs(
+                spec,
+                history,
+                done | (1 << i),
+                &next,
+                full,
+                visited,
+                witness,
+            ) {
                 return true;
             }
             witness.pop();
@@ -121,7 +140,10 @@ mod tests {
             e(QueueOp::Enq(2), 2, 3),
             e(QueueOp::Deq(Some(2)), 4, 5),
         ];
-        assert_eq!(check_linearizable(&QueueSpec, &h), CheckResult::NotLinearizable);
+        assert_eq!(
+            check_linearizable(&QueueSpec, &h),
+            CheckResult::NotLinearizable
+        );
     }
 
     #[test]
@@ -131,8 +153,8 @@ mod tests {
         // and D overlap, so the order [A,B,D,C] is a valid witness even
         // though C (returning the *second* element) responds first.
         let h = vec![
-            e(QueueOp::Enq(10), 0, 1),      // A
-            e(QueueOp::Enq(20), 2, 3),      // B
+            e(QueueOp::Enq(10), 0, 1),       // A
+            e(QueueOp::Enq(20), 2, 3),       // B
             e(QueueOp::Deq(Some(20)), 4, 9), // C (overlaps D)
             e(QueueOp::Deq(Some(10)), 5, 8), // D
         ];
@@ -150,13 +172,19 @@ mod tests {
             e(QueueOp::Deq(Some(20)), 4, 5),
             e(QueueOp::Deq(Some(10)), 6, 7),
         ];
-        assert_eq!(check_linearizable(&QueueSpec, &h), CheckResult::NotLinearizable);
+        assert_eq!(
+            check_linearizable(&QueueSpec, &h),
+            CheckResult::NotLinearizable
+        );
     }
 
     #[test]
     fn dequeue_of_never_enqueued_value_rejected() {
         let h = vec![e(QueueOp::Enq(1), 0, 1), e(QueueOp::Deq(Some(9)), 2, 3)];
-        assert_eq!(check_linearizable(&QueueSpec, &h), CheckResult::NotLinearizable);
+        assert_eq!(
+            check_linearizable(&QueueSpec, &h),
+            CheckResult::NotLinearizable
+        );
     }
 
     #[test]

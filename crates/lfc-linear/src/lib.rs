@@ -21,7 +21,10 @@ pub mod specs;
 
 pub use checker::{check_linearizable, CheckResult};
 pub use history::{Entry, Recorder};
-pub use specs::{Cont, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp, PairSpec, QueueOp, QueueSpec, StackOp, StackSpec};
+pub use specs::{
+    Cont, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp, PairSpec, QueueOp, QueueSpec,
+    StackOp, StackSpec,
+};
 
 use std::hash::Hash;
 

@@ -223,7 +223,10 @@ pub enum KeyedMoveResult {
 pub struct KeyedPairSpec;
 
 impl Spec for KeyedPairSpec {
-    type State = (std::collections::BTreeSet<u32>, std::collections::BTreeSet<u32>);
+    type State = (
+        std::collections::BTreeSet<u32>,
+        std::collections::BTreeSet<u32>,
+    );
     type Op = KeyedPairOp;
 
     fn init(&self) -> Self::State {
@@ -354,11 +357,19 @@ mod tests {
         let st = spec.apply(&st, &KeyedPairOp::InsA(1, true)).unwrap();
         assert!(spec.apply(&st, &KeyedPairOp::InsA(1, true)).is_none());
         let st = spec.apply(&st, &KeyedPairOp::InsA(1, false)).unwrap();
-        let st = spec.apply(&st, &KeyedPairOp::MoveAB(1, KeyedMoveResult::Moved)).unwrap();
-        assert!(spec.apply(&st, &KeyedPairOp::MoveAB(1, KeyedMoveResult::Moved)).is_none());
-        let st = spec.apply(&st, &KeyedPairOp::MoveAB(1, KeyedMoveResult::Absent)).unwrap();
+        let st = spec
+            .apply(&st, &KeyedPairOp::MoveAB(1, KeyedMoveResult::Moved))
+            .unwrap();
+        assert!(spec
+            .apply(&st, &KeyedPairOp::MoveAB(1, KeyedMoveResult::Moved))
+            .is_none());
+        let st = spec
+            .apply(&st, &KeyedPairOp::MoveAB(1, KeyedMoveResult::Absent))
+            .unwrap();
         let st = spec.apply(&st, &KeyedPairOp::InsA(1, true)).unwrap();
-        let st = spec.apply(&st, &KeyedPairOp::MoveAB(1, KeyedMoveResult::Duplicate)).unwrap();
+        let st = spec
+            .apply(&st, &KeyedPairOp::MoveAB(1, KeyedMoveResult::Duplicate))
+            .unwrap();
         let st = spec.apply(&st, &KeyedPairOp::RemB(1, true)).unwrap();
         assert!(spec.apply(&st, &KeyedPairOp::RemB(1, true)).is_none());
         let _ = st;
@@ -371,10 +382,26 @@ mod tests {
         // RemB=false, sequentially). No single move point exists.
         let spec = KeyedPairSpec;
         let h = vec![
-            Entry { op: KeyedPairOp::InsA(5, true), invoke: 0, ret: 1 },
-            Entry { op: KeyedPairOp::MoveAB(5, KeyedMoveResult::Moved), invoke: 2, ret: 20 },
-            Entry { op: KeyedPairOp::RemA(5, false), invoke: 3, ret: 5 },
-            Entry { op: KeyedPairOp::RemB(5, false), invoke: 6, ret: 8 },
+            Entry {
+                op: KeyedPairOp::InsA(5, true),
+                invoke: 0,
+                ret: 1,
+            },
+            Entry {
+                op: KeyedPairOp::MoveAB(5, KeyedMoveResult::Moved),
+                invoke: 2,
+                ret: 20,
+            },
+            Entry {
+                op: KeyedPairOp::RemA(5, false),
+                invoke: 3,
+                ret: 5,
+            },
+            Entry {
+                op: KeyedPairOp::RemB(5, false),
+                invoke: 6,
+                ret: 8,
+            },
         ];
         assert_eq!(check_linearizable(&spec, &h), CheckResult::NotLinearizable);
     }

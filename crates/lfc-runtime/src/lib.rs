@@ -6,17 +6,30 @@
 //!   protocol marks descriptor pointers with the helping thread's id
 //!   (paper §3.2.2) and the hazard-pointer domain indexes its slot banks by
 //!   thread id, so ids must be small integers, reused after thread exit.
+//! * [`solo`] — detection of the single-threaded ("solo") regime, used by
+//!   the composition layer's uncontended fast path to skip descriptor
+//!   publication when no helper can exist.
 //! * [`backoff`] — the doubling backoff function used by the paper's
 //!   evaluation (§6) for both the blocking and the lock-free objects.
 //! * [`lock`] — the test-test-and-set lock the paper uses for its blocking
 //!   baseline composition (§6).
+//! * [`pad`] — 128-byte cache-line padding to eliminate false sharing.
+//! * [`rng`] — a small deterministic PRNG for workloads and tests.
 
 #![warn(missing_docs)]
 
 pub mod backoff;
 pub mod lock;
+pub mod pad;
+pub mod rng;
+pub mod solo;
 pub mod tid;
 
 pub use backoff::{Backoff, BackoffCfg};
 pub use lock::TtasLock;
-pub use tid::{current_tid, on_thread_exit, registered_high_water, thread_is_exiting, MAX_THREADS};
+pub use pad::CachePadded;
+pub use rng::SmallRng;
+pub use tid::{
+    active_threads, current_tid, on_thread_exit, registered_high_water, thread_is_exiting,
+    MAX_THREADS,
+};

@@ -8,7 +8,7 @@
 //! exponential configuration the wait doubles on each failed acquisition.
 
 use crate::backoff::{Backoff, BackoffCfg};
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A test-test-and-set spin lock.

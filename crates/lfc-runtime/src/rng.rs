@@ -1,0 +1,117 @@
+//! A small, fast, deterministic PRNG (xoshiro256**), used by the benchmark
+//! workload generator and the randomized tests.
+//!
+//! Not cryptographic. Seeded via SplitMix64 so nearby seeds give unrelated
+//! streams, which matters because the harness derives per-thread seeds from
+//! a trial seed by small perturbations.
+
+/// A xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Seed the generator from a single word.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, n)` (`n > 0`), by 128-bit multiply (Lemire); the bias
+    /// is at most 2^-64, immaterial for workload generation.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive; `lo <= hi`).
+    pub fn range_incl(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+    }
+
+    #[test]
+    fn range_incl_hits_both_ends() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..1_000 {
+            match r.range_incl(3, 5) {
+                3 => lo_seen = true,
+                5 => hi_seen = true,
+                4 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -12,6 +12,7 @@
 //! reverse registration order inside the single thread-local destructor that
 //! also releases the id, guaranteeing the required ordering.
 
+use crate::pad::CachePadded;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -21,11 +22,22 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 /// (`tid + 1` must fit in 7 bits).
 pub const MAX_THREADS: usize = 126;
 
-static CLAIMED: [AtomicBool; MAX_THREADS] = [const { AtomicBool::new(false) }; MAX_THREADS];
+/// Claim flags are cache-line padded: a claim/release by one thread must
+/// not invalidate the line a neighbouring id's flag lives on — thread churn
+/// would otherwise false-share with every registry scan.
+static CLAIMED: [CachePadded<AtomicBool>; MAX_THREADS] =
+    [const { CachePadded::new(AtomicBool::new(false)) }; MAX_THREADS];
 
 /// High-water mark: one past the largest thread id ever claimed. Scanners
-/// (hazard-pointer scan) iterate `0..registered_high_water()`.
-static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+/// (hazard-pointer scan) iterate `0..registered_high_water()`. Padded away
+/// from the active count: it is read on every reclamation scan while
+/// `ACTIVE` is written on every thread birth/death.
+static HIGH_WATER: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+
+/// Number of currently registered (live) threads. The solo fast path reads
+/// this with SeqCst (see `crate::solo`); the increment below is SeqCst for
+/// the same Dekker pairing.
+static ACTIVE: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
 
 struct ThreadSlot {
     tid: u16,
@@ -46,6 +58,11 @@ impl Drop for ThreadSlot {
             hook();
         }
         CLAIMED[self.tid as usize].store(false, Ordering::Release);
+        // After the hooks: an exiting thread can no longer observe a solo
+        // section's intermediate state, so leaving the active set last is
+        // safe, and it keeps the solo fast path disabled while the exit
+        // hooks still retire memory.
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -70,10 +87,32 @@ fn claim() -> u16 {
                 .is_ok()
         {
             HIGH_WATER.fetch_max(i + 1, Ordering::Relaxed);
+            // SeqCst: pairs with the SeqCst flag-store→count-load in
+            // `solo::try_enter` (Dekker). Must be ordered before the
+            // in-flight check below in the global SC order.
+            ACTIVE.fetch_add(1, Ordering::SeqCst);
+            // Wait out any solo fast-path section that was entered before
+            // this thread existed; afterwards no such section can start
+            // while we remain registered.
+            crate::solo::registration_barrier();
             return i as u16;
         }
     }
     panic!("lfc-runtime: more than {MAX_THREADS} concurrently registered threads");
+}
+
+/// Number of currently registered (live) threads.
+///
+/// SeqCst: the solo-thread side of the `crate::solo` Dekker pair — must be
+/// ordered after the flag store in the SC total order.
+pub fn active_threads() -> usize {
+    ACTIVE.load(Ordering::SeqCst)
+}
+
+/// Racy count of registered threads, for gating hints only (see
+/// `solo::try_enter`): one Relaxed load, no fence, never authoritative.
+pub(crate) fn active_threads_relaxed() -> usize {
+    ACTIVE.load(Ordering::Relaxed)
 }
 
 /// Returns this thread's dense id, claiming one on first use.

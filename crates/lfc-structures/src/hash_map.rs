@@ -9,8 +9,7 @@
 
 use crate::ordered_list::OrderedSet;
 use lfc_core::{
-    InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, NormalCas, RemoveCtx,
-    RemoveOutcome,
+    InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, NormalCas, RemoveCtx, RemoveOutcome,
 };
 use std::hash::{Hash, Hasher};
 

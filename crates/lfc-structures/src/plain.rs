@@ -7,7 +7,10 @@
 //! pooling memory manager, but plain CASes and plain loads — no `scas`
 //! indirection, no descriptor check on reads.
 
-use crate::node::{alloc_node, alloc_pair_header, alloc_solo_header, clone_val, retire_node, retire_pair_header, retire_solo_header, Node, PairHeader, SoloHeader};
+use crate::node::{
+    alloc_node, alloc_pair_header, alloc_solo_header, clone_val, retire_node, retire_pair_header,
+    retire_solo_header, Node, PairHeader, SoloHeader,
+};
 use lfc_hazard::{pin, slot};
 use std::ptr::NonNull;
 

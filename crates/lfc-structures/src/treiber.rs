@@ -106,8 +106,8 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
         let mut bo = Backoff::new(self.backoff);
         loop {
             let ltop = self.top().read(&g); // S5
-            // S6: link the unpublished node.
-            // Safety: node is ours until the CAS publishes it.
+                                            // S6: link the unpublished node.
+                                            // Safety: node is ours until the CAS publishes it.
             unsafe { &(*node).next }.store_word(ltop);
             // S7: the linearization point.
             match ctx.scas(LinPoint {

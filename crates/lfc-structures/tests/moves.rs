@@ -287,7 +287,11 @@ fn movers_race_direct_consumers_for_exactly_once_delivery() {
             sc.spawn(move || {
                 let mut local = Vec::new();
                 while consumed.load(Ordering::Relaxed) < N {
-                    let got = if src == 0 { q_ref.dequeue() } else { s_ref.pop() };
+                    let got = if src == 0 {
+                        q_ref.dequeue()
+                    } else {
+                        s_ref.pop()
+                    };
                     if let Some(v) = got {
                         local.push(v);
                         consumed.fetch_add(1, Ordering::Relaxed);

@@ -36,7 +36,10 @@ fn main() {
     // ...and a key collision in the target aborts without touching either
     // container (all-or-nothing).
     active.insert(7, "session-7-reborn".to_string());
-    assert_eq!(move_keyed(&active, &7, &evicting), MoveOutcome::TargetRejected);
+    assert_eq!(
+        move_keyed(&active, &7, &evicting),
+        MoveOutcome::TargetRejected
+    );
     assert_eq!(active.get(&7).as_deref(), Some("session-7-reborn"));
     assert_eq!(evicting.get(&7).as_deref(), Some("session-7"));
 

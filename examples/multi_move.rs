@@ -35,7 +35,9 @@ fn main() {
         println!("worker got job {w}");
     }
     assert_eq!(
-        (0..5).map(|_| replica.dequeue().unwrap()).collect::<Vec<_>>(),
+        (0..5)
+            .map(|_| replica.dequeue().unwrap())
+            .collect::<Vec<_>>(),
         (0..5).collect::<Vec<_>>(),
         "replica preserves staging order"
     );

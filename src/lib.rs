@@ -29,9 +29,9 @@
 #![warn(missing_docs)]
 
 pub use lfc_core::{
-    move_keyed, move_one, move_to_all, InsertCtx, InsertOutcome, KeyedMoveSource,
-    KeyedMoveTarget, LinPoint, MoveOutcome, MoveSource, MoveTarget, NormalCas, RemoveCtx,
-    RemoveOutcome, ScasResult, MAX_TARGETS,
+    move_keyed, move_one, move_to_all, InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget,
+    LinPoint, MoveOutcome, MoveSource, MoveTarget, NormalCas, RemoveCtx, RemoveOutcome, ScasResult,
+    MAX_TARGETS,
 };
 pub use lfc_dcas::{DAtomic, DcasResult};
 pub use lfc_runtime::{Backoff, BackoffCfg, TtasLock};
@@ -50,5 +50,8 @@ pub mod alloc_stats {
 /// Linearizability checking toolkit (used by the test-suite; public because
 /// it is generally useful for validating composed histories).
 pub mod linear {
-    pub use lfc_linear::{check_linearizable, CheckResult, Cont, Entry, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp, PairSpec, QueueOp, QueueSpec, Recorder, Spec, StackOp, StackSpec};
+    pub use lfc_linear::{
+        check_linearizable, CheckResult, Cont, Entry, KeyedMoveResult, KeyedPairOp, KeyedPairSpec,
+        PairOp, PairSpec, QueueOp, QueueSpec, Recorder, Spec, StackOp, StackSpec,
+    };
 }

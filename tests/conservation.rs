@@ -184,15 +184,20 @@ fn abort_storm_never_corrupts() {
     std::thread::scope(|sc| {
         let (q, slot, sink, aborted, drained) = (&q, &slot, &sink, &aborted, &drained);
         // Occupier: keeps the slot full half the time with its own token.
+        // The yields matter on single-core hosts: without them the slot is
+        // only ever empty *inside* another thread's timeslice, and movers
+        // can succeed only on a lucky preemption.
         sc.spawn(move || {
             while drained.load(std::sync::atomic::Ordering::Relaxed) < TOKENS as usize {
                 if slot.put(u64::MAX) {
+                    std::thread::yield_now();
                     while slot.peek() == Some(u64::MAX) {
                         if slot.take() == Some(u64::MAX) {
                             break;
                         }
                     }
                 }
+                std::thread::yield_now();
             }
         });
         // Movers: queue -> slot (often rejected).
@@ -201,6 +206,7 @@ fn abort_storm_never_corrupts() {
                 while drained.load(std::sync::atomic::Ordering::Relaxed) < TOKENS as usize {
                     if move_one(q, slot) == MoveOutcome::TargetRejected {
                         aborted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        std::thread::yield_now();
                     }
                 }
             });
@@ -208,20 +214,27 @@ fn abort_storm_never_corrupts() {
         // Drainer: slot -> sink (ignoring the occupier's marker).
         sc.spawn(move || {
             while drained.load(std::sync::atomic::Ordering::Relaxed) < TOKENS as usize {
-                if let Some(v) = slot.take() {
-                    if v == u64::MAX {
+                match slot.take() {
+                    Some(v) if v == u64::MAX => {
                         let _ = slot.put(v); // give the marker back
-                    } else {
+                        std::thread::yield_now();
+                    }
+                    Some(v) => {
                         sink.enqueue(v);
                         drained.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
+                    None => std::thread::yield_now(),
                 }
             }
         });
     });
     let mut got: Vec<u64> = std::iter::from_fn(|| sink.dequeue()).collect();
     got.sort_unstable();
-    assert_eq!(got, (0..TOKENS).collect::<Vec<u64>>(), "every token exactly once");
+    assert_eq!(
+        got,
+        (0..TOKENS).collect::<Vec<u64>>(),
+        "every token exactly once"
+    );
     assert!(
         aborted.load(std::sync::atomic::Ordering::Relaxed) > 0,
         "the abort path was actually exercised"

@@ -11,7 +11,11 @@ fn map_to_list_keyed_move() {
     map.insert(7, "seven".into());
     assert_eq!(move_keyed(&map, &7, &list), MoveOutcome::Moved);
     assert_eq!(map.get(&7), None, "left the map");
-    assert_eq!(list.get(&7).as_deref(), Some("seven"), "arrived in the list");
+    assert_eq!(
+        list.get(&7).as_deref(),
+        Some("seven"),
+        "arrived in the list"
+    );
 }
 
 #[test]
@@ -70,7 +74,10 @@ fn keyed_ping_pong_conserves_entry() {
         }
     });
     let (in_a, in_b) = (a.get(&9), b.get(&9));
-    let (ab, ba) = (ab.load(Ordering::Relaxed) as i64, ba.load(Ordering::Relaxed) as i64);
+    let (ab, ba) = (
+        ab.load(Ordering::Relaxed) as i64,
+        ba.load(Ordering::Relaxed) as i64,
+    );
     match (in_a, in_b) {
         (Some(99), None) => assert_eq!(ab, ba),
         (None, Some(99)) => assert_eq!(ab, ba + 1),

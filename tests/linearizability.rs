@@ -6,15 +6,18 @@
 //! This is the strongest correctness evidence in the suite: it checks the
 //! exact property Figure 1d claims — the unified linearization point.
 
+use lfc_runtime::SmallRng;
 use lockfree_compose::linear::{check_linearizable, Cont, PairOp, PairSpec, Recorder};
 use lockfree_compose::{move_one, MoveOutcome, MsQueue, TreiberStack};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Run a small randomized workload on (queue, stack) recording every
 /// operation with its outcome, and return the history.
-fn record_history(threads: usize, ops_per_thread: usize, seed: u64) -> Vec<lockfree_compose::linear::Entry<PairOp>> {
+fn record_history(
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> Vec<lockfree_compose::linear::Entry<PairOp>> {
     let q: MsQueue<u32> = MsQueue::new();
     let s: TreiberStack<u32> = TreiberStack::new();
     let rec: Recorder<PairOp> = Recorder::new();
@@ -29,7 +32,7 @@ fn record_history(threads: usize, ops_per_thread: usize, seed: u64) -> Vec<lockf
             sc.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(seed + t as u64);
                 for _ in 0..ops_per_thread {
-                    match rng.gen_range(0..6) {
+                    match rng.below(6) {
                         0 => {
                             let v = next_val.fetch_add(1, Ordering::Relaxed);
                             rec.record(|| {
@@ -51,14 +54,10 @@ fn record_history(threads: usize, ops_per_thread: usize, seed: u64) -> Vec<lockf
                             rec.record(|| PairOp::RemB(s.pop()));
                         }
                         4 => {
-                            rec.record(|| {
-                                PairOp::MoveAB(move_one(q, s) == MoveOutcome::Moved)
-                            });
+                            rec.record(|| PairOp::MoveAB(move_one(q, s) == MoveOutcome::Moved));
                         }
                         _ => {
-                            rec.record(|| {
-                                PairOp::MoveBA(move_one(s, q) == MoveOutcome::Moved)
-                            });
+                            rec.record(|| PairOp::MoveBA(move_one(s, q) == MoveOutcome::Moved));
                         }
                     }
                 }
@@ -163,8 +162,8 @@ fn recorded_keyed_map_list_histories_are_linearizable() {
                     let mut rng = SmallRng::seed_from_u64(0x6EED + round * 31 + t);
                     for _ in 0..8 {
                         // Small key space so operations genuinely conflict.
-                        let k = rng.gen_range(0..4u32);
-                        match rng.gen_range(0..6) {
+                        let k = rng.below(4) as u32;
+                        match rng.below(6) {
                             0 => {
                                 rec.record(|| KeyedPairOp::InsA(k, map.insert(k, k)));
                             }

@@ -109,8 +109,11 @@ fn concurrent_broadcasts_deliver_everywhere_exactly_once() {
 /// Object-safe bridge so heterogeneous targets can share one slice: a tiny
 /// adapter trait with a blanket impl over every `MoveTarget<u64>`.
 trait Probe: Sync {
-    fn insert_probe(&self, v: u64, ctx: &mut dyn lockfree_compose::InsertCtx)
-        -> lockfree_compose::InsertOutcome;
+    fn insert_probe(
+        &self,
+        v: u64,
+        ctx: &mut dyn lockfree_compose::InsertCtx,
+    ) -> lockfree_compose::InsertOutcome;
 }
 
 impl<X: lockfree_compose::MoveTarget<u64> + Sync> Probe for X {

@@ -1,11 +1,14 @@
-//! Property-based sequential equivalence: random operation sequences on the
-//! move-ready structures must behave exactly like their obvious models
-//! (`VecDeque` for the queue, `Vec` for the stacks), including interleaved
-//! single-threaded moves checked against a two-container model.
+//! Randomized sequential equivalence: deterministic pseudo-random operation
+//! sequences on the move-ready structures must behave exactly like their
+//! obvious models (`VecDeque` for the queue, `Vec` for the stacks),
+//! including interleaved single-threaded moves checked against a
+//! two-container model. Seeds are fixed, so failures reproduce exactly.
 
+use lfc_runtime::SmallRng;
 use lockfree_compose::{move_one, MoveOutcome, MsQueue, StampedStack, TreiberStack};
-use proptest::prelude::*;
 use std::collections::VecDeque;
+
+const CASES: u64 = 64;
 
 #[derive(Clone, Debug)]
 enum QOp {
@@ -13,18 +16,24 @@ enum QOp {
     Deq,
 }
 
-fn qop() -> impl Strategy<Value = QOp> {
-    prop_oneof![
-        (0u64..1000).prop_map(QOp::Enq),
-        Just(QOp::Deq),
-    ]
+fn gen_ops(rng: &mut SmallRng, max_len: u64) -> Vec<QOp> {
+    let len = rng.below(max_len);
+    (0..len)
+        .map(|_| {
+            if rng.below(2) == 0 {
+                QOp::Enq(rng.below(1000))
+            } else {
+                QOp::Deq
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn queue_matches_vecdeque(ops in proptest::collection::vec(qop(), 0..200)) {
+#[test]
+fn queue_matches_vecdeque() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x51E0 ^ case);
+        let ops = gen_ops(&mut rng, 200);
         let q: MsQueue<u64> = MsQueue::new();
         let mut model: VecDeque<u64> = VecDeque::new();
         for op in ops {
@@ -34,19 +43,23 @@ proptest! {
                     model.push_back(v);
                 }
                 QOp::Deq => {
-                    prop_assert_eq!(q.dequeue(), model.pop_front());
+                    assert_eq!(q.dequeue(), model.pop_front(), "case {case}");
                 }
             }
         }
         // Drain and compare the remainder.
         while let Some(v) = model.pop_front() {
-            prop_assert_eq!(q.dequeue(), Some(v));
+            assert_eq!(q.dequeue(), Some(v), "case {case}");
         }
-        prop_assert_eq!(q.dequeue(), None);
+        assert_eq!(q.dequeue(), None, "case {case}");
     }
+}
 
-    #[test]
-    fn treiber_matches_vec(ops in proptest::collection::vec(qop(), 0..200)) {
+#[test]
+fn treiber_matches_vec() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57AC ^ case);
+        let ops = gen_ops(&mut rng, 200);
         let s: TreiberStack<u64> = TreiberStack::new();
         let mut model: Vec<u64> = Vec::new();
         for op in ops {
@@ -56,18 +69,22 @@ proptest! {
                     model.push(v);
                 }
                 QOp::Deq => {
-                    prop_assert_eq!(s.pop(), model.pop());
+                    assert_eq!(s.pop(), model.pop(), "case {case}");
                 }
             }
         }
         while let Some(v) = model.pop() {
-            prop_assert_eq!(s.pop(), Some(v));
+            assert_eq!(s.pop(), Some(v), "case {case}");
         }
-        prop_assert_eq!(s.pop(), None);
+        assert_eq!(s.pop(), None, "case {case}");
     }
+}
 
-    #[test]
-    fn stamped_matches_vec(ops in proptest::collection::vec(qop(), 0..200)) {
+#[test]
+fn stamped_matches_vec() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57A2 ^ case);
+        let ops = gen_ops(&mut rng, 200);
         let s: StampedStack<u64> = StampedStack::new();
         let mut model: Vec<u64> = Vec::new();
         for op in ops {
@@ -77,33 +94,34 @@ proptest! {
                     model.push(v);
                 }
                 QOp::Deq => {
-                    prop_assert_eq!(s.pop(), model.pop());
+                    assert_eq!(s.pop(), model.pop(), "case {case}");
                 }
             }
         }
         while let Some(v) = model.pop() {
-            prop_assert_eq!(s.pop(), Some(v));
+            assert_eq!(s.pop(), Some(v), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn moves_match_two_container_model(
-        seed in proptest::collection::vec(0u64..1000, 0..30),
-        ops in proptest::collection::vec(0u8..5, 0..120),
-    ) {
+#[test]
+fn moves_match_two_container_model() {
+    for case in 0..CASES {
         // Single-threaded: queue + stack with interleaved ops and moves,
         // checked against (VecDeque, Vec).
+        let mut rng = SmallRng::seed_from_u64(0x30BE ^ case);
         let q: MsQueue<u64> = MsQueue::new();
         let s: TreiberStack<u64> = TreiberStack::new();
         let mut mq: VecDeque<u64> = VecDeque::new();
         let mut ms: Vec<u64> = Vec::new();
         let mut next = 10_000u64;
-        for v in seed {
+        for _ in 0..rng.below(30) {
+            let v = rng.below(1000);
             q.enqueue(v);
             mq.push_back(v);
         }
-        for op in ops {
-            match op {
+        for _ in 0..rng.below(120) {
+            match rng.below(5) {
                 0 => {
                     q.enqueue(next);
                     mq.push_back(next);
@@ -114,17 +132,17 @@ proptest! {
                     ms.push(next);
                     next += 1;
                 }
-                2 => prop_assert_eq!(q.dequeue(), mq.pop_front()),
+                2 => assert_eq!(q.dequeue(), mq.pop_front(), "case {case}"),
                 3 => {
                     // move queue -> stack
                     let expected = mq.pop_front();
                     let got = move_one(&q, &s);
                     match expected {
                         Some(v) => {
-                            prop_assert_eq!(got, MoveOutcome::Moved);
+                            assert_eq!(got, MoveOutcome::Moved, "case {case}");
                             ms.push(v);
                         }
-                        None => prop_assert_eq!(got, MoveOutcome::SourceEmpty),
+                        None => assert_eq!(got, MoveOutcome::SourceEmpty, "case {case}"),
                     }
                 }
                 _ => {
@@ -133,21 +151,21 @@ proptest! {
                     let got = move_one(&s, &q);
                     match expected {
                         Some(v) => {
-                            prop_assert_eq!(got, MoveOutcome::Moved);
+                            assert_eq!(got, MoveOutcome::Moved, "case {case}");
                             mq.push_back(v);
                         }
-                        None => prop_assert_eq!(got, MoveOutcome::SourceEmpty),
+                        None => assert_eq!(got, MoveOutcome::SourceEmpty, "case {case}"),
                     }
                 }
             }
         }
         while let Some(v) = mq.pop_front() {
-            prop_assert_eq!(q.dequeue(), Some(v));
+            assert_eq!(q.dequeue(), Some(v), "case {case}");
         }
         while let Some(v) = ms.pop() {
-            prop_assert_eq!(s.pop(), Some(v));
+            assert_eq!(s.pop(), Some(v), "case {case}");
         }
-        prop_assert_eq!(q.dequeue(), None);
-        prop_assert_eq!(s.pop(), None);
+        assert_eq!(q.dequeue(), None, "case {case}");
+        assert_eq!(s.pop(), None, "case {case}");
     }
 }
