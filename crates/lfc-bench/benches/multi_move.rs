@@ -1,38 +1,17 @@
-//! Experiment MOVEN: cost of the n-object move (paper §8 extension).
+//! Experiment MOVEN: cost of the n-object move (paper §8 extension) and
+//! the four-entry swap, now all riding the unified composition engine.
 //!
-//! Measures `move_to_all` latency as the number of targets grows (each
-//! extra target adds one CASN entry = one RDCSS install + one swing), and
-//! compares the 1-target CASN-based move against the DCAS-based `move_one`
-//! (the paper's DCAS needs fewer CASes — this quantifies the gap).
+//! The fan-out scaling and swap measurements are the tracked micro-suite
+//! (`lfc_bench::micro::multi`, shared with `reproduce bench`); this target
+//! additionally compares the 1-target path (the engine's K=2 / DCAS
+//! dispatch) against `move_one` — since PR 2 both are the *same* engine,
+//! so the gap the seed measured between the two entry points should be
+//! gone.
 
 use lfc_bench::harness::{bench, report, Measurement};
+use lfc_bench::micro;
 use lfc_core::{move_one, move_to_all, MoveOutcome};
 use lfc_structures::MsQueue;
-use std::hint::black_box;
-
-fn multi_move_scaling() -> Vec<Measurement> {
-    let mut out = Vec::new();
-    for n in 1..=5usize {
-        let src: MsQueue<u64> = MsQueue::new();
-        let dsts: Vec<MsQueue<u64>> = (0..n).map(|_| MsQueue::new()).collect();
-        let refs: Vec<&MsQueue<u64>> = dsts.iter().collect();
-        src.enqueue(1);
-        out.push(bench(&format!("move_to_all/targets_{n}"), || {
-            let r = move_to_all(&src, &refs);
-            assert_eq!(r, MoveOutcome::Moved);
-            // Drain the broadcast clones and return the element so the
-            // next iteration starts from the same state.
-            for (i, d) in dsts.iter().enumerate() {
-                let v = d.dequeue().unwrap();
-                if i == 0 {
-                    src.enqueue(v);
-                }
-            }
-            black_box(r);
-        }));
-    }
-    out
-}
 
 fn dcas_vs_casn_single_target() -> Vec<Measurement> {
     let mut out = Vec::new();
@@ -59,7 +38,7 @@ fn dcas_vs_casn_single_target() -> Vec<Measurement> {
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let mut ms = multi_move_scaling();
+    let mut ms = micro::multi();
     ms.extend(dcas_vs_casn_single_target());
     if json {
         for m in &ms {

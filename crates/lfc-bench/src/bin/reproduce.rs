@@ -136,6 +136,7 @@ fn run_bench_capture(args: &[String]) {
     let s_ratio = micro::overhead_ratio(&overhead, "stack_push_pop");
     results.extend(overhead);
     results.extend(micro::dcas());
+    results.extend(micro::multi());
 
     let mut json = String::new();
     json.push_str(&format!(

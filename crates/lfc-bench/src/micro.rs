@@ -4,7 +4,7 @@
 //! standalone benches and the JSON capture measure exactly the same thing.
 
 use crate::harness::{bench, bench_custom, Measurement};
-use lfc_core::{move_one, MoveOutcome};
+use lfc_core::{move_one, move_to_all, swap, MoveOutcome, SwapOutcome};
 use lfc_dcas::{DAtomic, DcasResult, DescHandle};
 use lfc_hazard::pin;
 use lfc_structures::{MsQueue, PlainMsQueue, PlainTreiberStack, TreiberStack};
@@ -165,6 +165,43 @@ pub fn move_uncontended() -> Measurement {
         assert_eq!(move_one(&src, &dst), MoveOutcome::Moved);
         assert_eq!(move_one(&dst, &src), MoveOutcome::Moved);
     })
+}
+
+/// Experiment MOVEN (tracked since PR 2): the unified engine's k-entry
+/// commit — `move_to_all` latency as the fan-out grows (each extra target
+/// adds one entry) plus the four-entry `swap`. One target rides the K=2
+/// (DCAS) dispatch; larger fan-outs and the swap ride CASN.
+pub fn multi() -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for n in 1..=5usize {
+        let src: MsQueue<u64> = MsQueue::new();
+        let dsts: Vec<MsQueue<u64>> = (0..n).map(|_| MsQueue::new()).collect();
+        let refs: Vec<&MsQueue<u64>> = dsts.iter().collect();
+        src.enqueue(1);
+        out.push(bench(&format!("move_to_all/targets_{n}"), || {
+            let r = move_to_all(&src, &refs);
+            assert_eq!(r, MoveOutcome::Moved);
+            // Drain the broadcast clones and return the element so the
+            // next iteration starts from the same state.
+            for (i, d) in dsts.iter().enumerate() {
+                let v = d.dequeue().unwrap();
+                if i == 0 {
+                    src.enqueue(v);
+                }
+            }
+            black_box(r);
+        }));
+    }
+    {
+        let a: MsQueue<u64> = MsQueue::new();
+        let b: MsQueue<u64> = MsQueue::new();
+        a.enqueue(1);
+        b.enqueue(2);
+        out.push(bench("swap/uncontended_queue_queue", || {
+            assert_eq!(swap(&a, &b), SwapOutcome::Swapped);
+        }));
+    }
+    out
 }
 
 /// Contended composed move: two threads moving opposite directions between

@@ -5,17 +5,13 @@
 //!
 //! The linearization contexts are key-agnostic (a keyed remove still
 //! linearizes at one CAS and still has its element available beforehand),
-//! so keyed objects plug into the same machinery: [`move_keyed`] removes
-//! the element stored under `key` in the source and inserts it under the
-//! same key into the target, atomically.
+//! so keyed objects plug into the same unified engine ([`crate::compose`])
+//! as everything else: [`move_keyed`] is a two-stage composition, and the
+//! keyed traits also power [`crate::move_keyed_to_all`],
+//! [`crate::move_keyed_to_unkeyed`] and keyed [`crate::Composition`]
+//! stages.
 
-use crate::{
-    InsertCtx, InsertOutcome, LinPoint, MoveOutcome, MoveState, RemoveCtx, RemoveOutcome,
-    ScasResult,
-};
-use lfc_dcas::DescHandle;
-use lfc_hazard::pin;
-use std::marker::PhantomData;
+use crate::{compose, InsertCtx, InsertOutcome, MoveOutcome, RemoveCtx, RemoveOutcome};
 
 /// An object whose keyed remove is move-ready.
 pub trait KeyedMoveSource<K, T> {
@@ -30,35 +26,15 @@ pub trait KeyedMoveTarget<K, T> {
     fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome;
 }
 
-struct KeyedRemoveCtx<'a, K, T, D: KeyedMoveTarget<K, T> + ?Sized> {
-    target: &'a D,
-    key: &'a K,
-    state: &'a mut MoveState,
-    _elem: PhantomData<fn(&T)>,
+impl<K, T, S: KeyedMoveSource<K, T>> KeyedMoveSource<K, T> for &S {
+    fn remove_key_with<C: RemoveCtx<T>>(&self, key: &K, ctx: &mut C) -> RemoveOutcome<T> {
+        (**self).remove_key_with(key, ctx)
+    }
 }
 
-impl<K: Clone, T: Clone, D: KeyedMoveTarget<K, T> + ?Sized> RemoveCtx<T>
-    for KeyedRemoveCtx<'_, K, T, D>
-{
-    fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult {
-        // Lazily allocated: an absent key never touches the descriptor pool.
-        self.state
-            .desc
-            .get_or_insert_with(DescHandle::new)
-            .set_first(lp.word, lp.old, lp.new, lp.hp);
-        self.state.ins_failed = true;
-        let inserted = self.target.insert_key_with(
-            self.key.clone(),
-            elem.clone(),
-            &mut crate::MoveInsertCtx { state: self.state },
-        );
-        if self.state.ins_failed {
-            return ScasResult::Abort;
-        }
-        match inserted {
-            InsertOutcome::Inserted => ScasResult::Success,
-            InsertOutcome::Rejected => ScasResult::Fail,
-        }
+impl<K, T, D: KeyedMoveTarget<K, T>> KeyedMoveTarget<K, T> for &D {
+    fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome {
+        (**self).insert_key_with(key, elem, ctx)
     }
 }
 
@@ -66,6 +42,9 @@ impl<K: Clone, T: Clone, D: KeyedMoveTarget<K, T> + ?Sized> RemoveCtx<T>
 /// (keeping its key). Returns [`MoveOutcome::SourceEmpty`] when the key is
 /// absent from the source and [`MoveOutcome::TargetRejected`] when the
 /// target already holds the key (or is full).
+///
+/// A thin wrapper over the unified composition engine (keyed remove at
+/// stage 0, keyed insert at stage 1).
 pub fn move_keyed<K, T, S, D>(src: &S, key: &K, dst: &D) -> MoveOutcome
 where
     K: Clone,
@@ -73,30 +52,5 @@ where
     S: KeyedMoveSource<K, T> + ?Sized,
     D: KeyedMoveTarget<K, T> + ?Sized,
 {
-    let mut state = MoveState {
-        g: pin(),
-        desc: None,
-        ins_failed: false,
-        aliased: false,
-    };
-    let outcome = {
-        let mut ctx = KeyedRemoveCtx {
-            target: dst,
-            key,
-            state: &mut state,
-            _elem: PhantomData,
-        };
-        src.remove_key_with(key, &mut ctx)
-    };
-    match outcome {
-        RemoveOutcome::Removed(_) => MoveOutcome::Moved,
-        RemoveOutcome::Empty => MoveOutcome::SourceEmpty,
-        RemoveOutcome::Aborted => {
-            if state.aliased {
-                MoveOutcome::WouldAlias
-            } else {
-                MoveOutcome::TargetRejected
-            }
-        }
-    }
+    compose::move_keyed_impl(src, key, dst)
 }

@@ -22,26 +22,36 @@
 //! type level preserves the claim that normal operations keep their
 //! performance behaviour — validated by the `overhead` benchmark).
 //!
-//! # The move operation (paper Algorithm 3)
+//! # The move operation (paper Algorithm 3), generalized
 //!
 //! [`move_one`] runs the source's remove; at the remove's linearization
-//! point the `MoveRemoveCtx` captures the CAS triple instead of executing
-//! it and invokes the *target's* insert with the element; at the insert's
-//! linearization point the `MoveInsertCtx` captures the second triple and
-//! commits both with a DCAS. `FIRSTFAILED` redoes both operations,
-//! `SECONDFAILED` redoes only the insert — exactly the paper's step 3.
+//! point the composition engine ([`compose`]) captures the CAS triple
+//! instead of executing it and invokes the *target's* insert with the
+//! element; at the insert's linearization point the engine captures the
+//! second triple and commits both through the unified k-entry commit
+//! (`lfc_dcas::commit_entries`, where DCAS is the K=2 specialization).
+//! `FIRSTFAILED` redoes both operations, `SECONDFAILED` redoes only the
+//! insert — exactly the paper's step 3, and the K=2 instance of the
+//! engine's generalized retry rule.
+//!
+//! Every composed operation — [`move_one`], [`move_keyed`],
+//! [`move_to_all`], [`swap`], [`move_keyed_to_all`],
+//! [`move_keyed_to_unkeyed`] and user-defined [`compose::Composition`]
+//! chains — is a thin wrapper over that one engine.
 
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod keyed;
 pub mod multi;
 
+pub use compose::{
+    move_keyed_to_all, move_keyed_to_unkeyed, swap, Composition, SwapOutcome, MAX_ENTRIES,
+};
 pub use keyed::{move_keyed, KeyedMoveSource, KeyedMoveTarget};
 pub use multi::{move_to_all, MAX_TARGETS};
 
-use lfc_dcas::{DAtomic, DcasResult, DescHandle, Word};
-use lfc_hazard::{pin, Guard};
-use std::marker::PhantomData;
+use lfc_dcas::{DAtomic, Word};
 
 /// What an `scas` call tells the enclosing operation to do
 /// (the paper's `fbool`: true / false / ABORT).
@@ -164,91 +174,6 @@ pub enum MoveOutcome {
     WouldAlias,
 }
 
-/// Shared state of one move invocation (the paper's thread-local `desc`,
-/// `insfailed`, `ltarget` made explicit).
-pub(crate) struct MoveState {
-    pub(crate) g: Guard,
-    pub(crate) desc: Option<DescHandle>,
-    pub(crate) ins_failed: bool,
-    pub(crate) aliased: bool,
-}
-
-/// The remove-side context of a move (paper lines M9–M19).
-struct MoveRemoveCtx<'a, T, D: MoveTarget<T> + ?Sized> {
-    target: &'a D,
-    state: &'a mut MoveState,
-    _elem: PhantomData<fn(&T)>,
-}
-
-/// The insert-side context of a move (paper lines M22–M37).
-pub(crate) struct MoveInsertCtx<'a> {
-    pub(crate) state: &'a mut MoveState,
-}
-
-impl<T: Clone, D: MoveTarget<T> + ?Sized> RemoveCtx<T> for MoveRemoveCtx<'_, T, D> {
-    fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult {
-        // M10–M14: store the remove-side CAS triple in the descriptor,
-        // allocating it lazily — a move on an empty source returns before
-        // ever reaching a linearization point and never touches the pool.
-        self.state
-            .desc
-            .get_or_insert_with(DescHandle::new)
-            .set_first(lp.word, lp.old, lp.new, lp.hp);
-        // M15: assume the insert never reaches its linearization point.
-        self.state.ins_failed = true;
-        // M16: run the *entire* insert operation on the target, with the
-        // element the remove is about to take out.
-        let inserted = self
-            .target
-            .insert_with(elem.clone(), &mut MoveInsertCtx { state: self.state });
-        // M17–M18: the insert failed before attempting the DCAS — the move
-        // cannot complete; abort the remove.
-        if self.state.ins_failed {
-            return ScasResult::Abort;
-        }
-        // M19: otherwise the DCAS ran. Inserted means it succeeded (and so
-        // did our remove); Rejected means FIRSTFAILED: our captured CAS is
-        // stale, the insert aborted, and the remove must redo its init phase.
-        match inserted {
-            InsertOutcome::Inserted => ScasResult::Success,
-            InsertOutcome::Rejected => ScasResult::Fail,
-        }
-    }
-}
-
-impl InsertCtx for MoveInsertCtx<'_> {
-    fn scas(&mut self, lp: LinPoint<'_>) -> ScasResult {
-        let mut desc = self
-            .state
-            .desc
-            .take()
-            .expect("descriptor present until the move decides");
-        // A DCAS on a single word cannot succeed; report the aliasing
-        // instead of retrying forever (see `MoveOutcome::WouldAlias`).
-        if lp.word as *const DAtomic as usize == desc.first_word_addr() {
-            self.state.desc = Some(desc);
-            self.state.aliased = true;
-            return ScasResult::Abort;
-        }
-        // M24–M27: store the insert-side triple; M28: run the DCAS.
-        desc.set_second(lp.word, lp.old, lp.new, lp.hp);
-        let (result, next) = desc.commit(&self.state.g);
-        // M29–M31: a failed DCAS was published; `commit` already produced a
-        // fresh descriptor (carrying the first triple) for the next attempt.
-        self.state.desc = next;
-        // M32: the DCAS ran, so the insert did reach its linearization point.
-        self.state.ins_failed = false;
-        match result {
-            // M33–M34: the *remove's* CAS failed: abort the insert so the
-            // remove can redo its init phase.
-            DcasResult::FirstFailed => ScasResult::Abort,
-            // M35–M36: the insert's CAS failed: redo the insert init phase.
-            DcasResult::SecondFailed => ScasResult::Fail,
-            DcasResult::Success => ScasResult::Success,
-        }
-    }
-}
-
 /// Atomically move one element from `src` to `dst` (paper Algorithm 3).
 ///
 /// Lock-free and linearizable when `src` and `dst` are lock-free move-ready
@@ -258,37 +183,17 @@ impl InsertCtx for MoveInsertCtx<'_> {
 /// The element type must be `Clone`: the value is read (cloned) from the
 /// source *before* the unified linearization point — move-candidate
 /// requirement 4 — and materialized in the target's freshly allocated node.
+///
+/// A thin wrapper over the unified composition engine: the remove is
+/// stage 0, the insert stage 1, and the commit is the K=2 (DCAS) case of
+/// the k-entry commit.
 pub fn move_one<T, S, D>(src: &S, dst: &D) -> MoveOutcome
 where
     T: Clone,
     S: MoveSource<T> + ?Sized,
     D: MoveTarget<T> + ?Sized,
 {
-    let mut state = MoveState {
-        g: pin(),
-        desc: None,
-        ins_failed: false,
-        aliased: false,
-    };
-    let outcome = {
-        let mut ctx = MoveRemoveCtx {
-            target: dst,
-            state: &mut state,
-            _elem: PhantomData,
-        };
-        src.remove_with(&mut ctx)
-    };
-    match outcome {
-        RemoveOutcome::Removed(_moved_clone) => MoveOutcome::Moved,
-        RemoveOutcome::Empty => MoveOutcome::SourceEmpty,
-        RemoveOutcome::Aborted => {
-            if state.aliased {
-                MoveOutcome::WouldAlias
-            } else {
-                MoveOutcome::TargetRejected
-            }
-        }
-    }
+    compose::move_one_impl(src, dst)
 }
 
 impl<T, S: MoveSource<T>> MoveSource<T> for &S {
@@ -300,6 +205,37 @@ impl<T, S: MoveSource<T>> MoveSource<T> for &S {
 impl<T, D: MoveTarget<T>> MoveTarget<T> for &D {
     fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
         (**self).insert_with(elem, ctx)
+    }
+}
+
+/// Object-safe bridge for *heterogeneous* target collections: a `&[&dyn
+/// DynMoveTarget<T>]` slice can mix queues, stacks and slots in one
+/// [`move_to_all`] / [`swap`] call. Implemented for every `MoveTarget<T> +
+/// Sync` via the blanket impl; `dyn DynMoveTarget<T>` itself implements
+/// [`MoveTarget`], so trait objects slot into every composed operation.
+pub trait DynMoveTarget<T>: Sync {
+    /// Run the target's move-ready insert through a dynamically-dispatched
+    /// linearization context.
+    fn insert_dyn(&self, elem: T, ctx: &mut dyn InsertCtx) -> InsertOutcome;
+}
+
+impl<T, X: MoveTarget<T> + Sync> DynMoveTarget<T> for X {
+    fn insert_dyn(&self, elem: T, ctx: &mut dyn InsertCtx) -> InsertOutcome {
+        /// Width adapter: re-monomorphize the dynamic context so the
+        /// target's generic `insert_with` can take it.
+        struct Fwd<'a>(&'a mut dyn InsertCtx);
+        impl InsertCtx for Fwd<'_> {
+            fn scas(&mut self, lp: LinPoint<'_>) -> ScasResult {
+                self.0.scas(lp)
+            }
+        }
+        self.insert_with(elem, &mut Fwd(ctx))
+    }
+}
+
+impl<T> MoveTarget<T> for dyn DynMoveTarget<T> + '_ {
+    fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+        self.insert_dyn(elem, ctx)
     }
 }
 

@@ -5,148 +5,18 @@
 //! > from one object and insert it into n others atomically."
 //!
 //! [`move_to_all`] removes one element from the source and inserts a clone
-//! of it into *every* target, all at a single linearization point. The
-//! structure generalizes Algorithm 3: the remove's `scas` captures entry 0
-//! and invokes target 1's insert; each insert's `scas` captures its entry
-//! and invokes the next target's insert; the innermost `scas` commits all
-//! n+1 captured CASes with a CASN. A CASN failure at entry k aborts the
-//! inserts deeper than k and re-runs the init phase of exactly the
-//! operation that owns entry k (k = 0 re-runs everything) — the
-//! generalization of the FIRSTFAILED/SECONDFAILED retry rule.
+//! of it into *every* target, all at a single linearization point. It is a
+//! thin wrapper over the unified composition engine ([`crate::compose`]):
+//! the remove is stage 0, each target's insert one further stage, and the
+//! innermost stage commits every captured entry through the k-entry commit
+//! (K=2 dispatches to the paper's DCAS, larger fan-outs to CASN). A commit
+//! failure at entry k re-runs the init phase of exactly the operation that
+//! owns entry k — the generalization of the FIRSTFAILED/SECONDFAILED retry
+//! rule — and a failure *before* any commit aborts the whole composition.
 
-use crate::{
-    InsertCtx, InsertOutcome, LinPoint, MoveOutcome, MoveSource, MoveTarget, RemoveCtx,
-    RemoveOutcome, ScasResult,
-};
-use lfc_dcas::kcas::{CasnHandle, CasnResult, MAX_ENTRIES};
-use lfc_hazard::{pin, Guard};
-use std::marker::PhantomData;
+use crate::{compose, MoveOutcome, MoveSource, MoveTarget};
 
-/// Maximum number of insert targets (`MAX_ENTRIES` minus the remove entry).
-pub const MAX_TARGETS: usize = MAX_ENTRIES - 1;
-
-struct MultiState {
-    g: Guard,
-    casn: Option<CasnHandle>,
-    /// True until some attempt reaches the CASN (paper's `insfailed`).
-    ins_failed: bool,
-    aliased: bool,
-    /// Entry index whose owning operation must redo its init phase.
-    retry_at: Option<usize>,
-}
-
-struct MultiRemoveCtx<'a, T, D: MoveTarget<T> + ?Sized> {
-    targets: &'a [&'a D],
-    state: &'a mut MultiState,
-    _elem: PhantomData<fn(&T)>,
-}
-
-struct MultiInsertCtx<'a, T, D: MoveTarget<T> + ?Sized> {
-    /// Which target (0-based) this context belongs to; its CASN entry is
-    /// `level + 1`.
-    level: usize,
-    targets: &'a [&'a D],
-    elem: &'a T,
-    state: &'a mut MultiState,
-}
-
-impl<T: Clone, D: MoveTarget<T> + ?Sized> RemoveCtx<T> for MultiRemoveCtx<'_, T, D> {
-    fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult {
-        let casn = self
-            .state
-            .casn
-            .as_mut()
-            .expect("descriptor present until the move decides");
-        casn.truncate(0);
-        casn.set_entry(0, lp.word, lp.old, lp.new, lp.hp);
-        self.state.ins_failed = true;
-        self.state.retry_at = None;
-        let r = self.targets[0].insert_with(
-            elem.clone(),
-            &mut MultiInsertCtx {
-                level: 0,
-                targets: self.targets,
-                elem,
-                state: self.state,
-            },
-        );
-        if r == InsertOutcome::Inserted {
-            return ScasResult::Success;
-        }
-        if self.state.ins_failed || self.state.aliased {
-            // Some target rejected before any CASN ran (or the move would
-            // alias): the composed move cannot complete.
-            return ScasResult::Abort;
-        }
-        // The CASN ran and failed at entry 0 (or an already-consumed inner
-        // entry): redo the remove's init phase.
-        ScasResult::Fail
-    }
-}
-
-impl<T: Clone, D: MoveTarget<T> + ?Sized> InsertCtx for MultiInsertCtx<'_, T, D> {
-    fn scas(&mut self, lp: LinPoint<'_>) -> ScasResult {
-        let entry = self.level + 1;
-        {
-            let casn = self
-                .state
-                .casn
-                .as_mut()
-                .expect("descriptor present until the move decides");
-            if casn.aliases(lp.word) {
-                self.state.aliased = true;
-                return ScasResult::Abort;
-            }
-            casn.truncate(entry);
-            casn.set_entry(entry, lp.word, lp.old, lp.new, lp.hp);
-        }
-        if self.level + 1 < self.targets.len() {
-            // Capture only; descend into the next target's insert.
-            let r = self.targets[self.level + 1].insert_with(
-                self.elem.clone(),
-                &mut MultiInsertCtx {
-                    level: self.level + 1,
-                    targets: self.targets,
-                    elem: self.elem,
-                    state: self.state,
-                },
-            );
-            if r == InsertOutcome::Inserted {
-                return ScasResult::Success;
-            }
-            if self.state.aliased || self.state.ins_failed {
-                return ScasResult::Abort;
-            }
-            match self.state.retry_at {
-                Some(k) if k == entry => {
-                    // Our captured CAS failed: redo this insert's init phase.
-                    self.state.retry_at = None;
-                    ScasResult::Fail
-                }
-                // An outer entry must retry: abort this insert.
-                _ => ScasResult::Abort,
-            }
-        } else {
-            // Innermost: commit all n+1 linearization points together.
-            let casn = self
-                .state
-                .casn
-                .take()
-                .expect("descriptor present until the move decides");
-            let (result, next) = casn.commit(&self.state.g);
-            self.state.casn = next;
-            self.state.ins_failed = false;
-            match result {
-                CasnResult::Success => ScasResult::Success,
-                CasnResult::FailedAt(k) if k == entry => ScasResult::Fail,
-                CasnResult::FailedAt(k) => {
-                    self.state.retry_at = Some(k);
-                    ScasResult::Abort
-                }
-            }
-        }
-    }
-}
+pub use crate::compose::MAX_TARGETS;
 
 /// Atomically remove one element from `src` and insert a clone of it into
 /// **each** target in `dsts`. Linearizable and lock-free when all objects
@@ -163,34 +33,5 @@ where
     S: MoveSource<T> + ?Sized,
     D: MoveTarget<T> + ?Sized,
 {
-    assert!(
-        !dsts.is_empty() && dsts.len() <= MAX_TARGETS,
-        "move_to_all supports 1..={MAX_TARGETS} targets"
-    );
-    let mut state = MultiState {
-        g: pin(),
-        casn: Some(CasnHandle::new()),
-        ins_failed: false,
-        aliased: false,
-        retry_at: None,
-    };
-    let outcome = {
-        let mut ctx = MultiRemoveCtx {
-            targets: dsts,
-            state: &mut state,
-            _elem: PhantomData,
-        };
-        src.remove_with(&mut ctx)
-    };
-    match outcome {
-        RemoveOutcome::Removed(_) => MoveOutcome::Moved,
-        RemoveOutcome::Empty => MoveOutcome::SourceEmpty,
-        RemoveOutcome::Aborted => {
-            if state.aliased {
-                MoveOutcome::WouldAlias
-            } else {
-                MoveOutcome::TargetRejected
-            }
-        }
-    }
+    compose::move_to_all_impl(src, dsts)
 }

@@ -28,9 +28,10 @@
 //! guarantees neither word was left changed by this DCAS (Lemmata 3–4).
 
 use crate::atomic::DAtomic;
+use crate::kcas::{CasnEntry, CasnResult};
 use crate::word::{self, Word};
 use lfc_hazard::{slot, Guard};
-use lfc_runtime::{on_thread_exit, solo, thread_is_exiting};
+use lfc_runtime::solo;
 use std::alloc::Layout;
 use std::cell::Cell;
 use std::ptr::NonNull;
@@ -89,56 +90,27 @@ const DESC_LAYOUT: Layout = Layout::new::<DcasDesc>();
 /// handful of descriptors logically in flight (one per composed move
 /// attempt), but retired descriptors return in scan-sized bursts; 64 keeps
 /// those bursts local without hoarding.
-const DESC_POOL_CAP: usize = 64;
-
-/// Per-thread free list of ready-to-reuse descriptors.
-///
-/// `DescHandle::new` on the seed path paid, per DCAS attempt: a size-class
-/// lookup plus magazine pop in `lfc-alloc` and a full 9-field descriptor
-/// write. The pool reduces the hit path to one `Vec::pop` and a single
-/// `res` reset — the CAS triples are overwritten by `set_first` /
-/// `set_second` anyway. Reuse is safe because descriptors only enter the
-/// pool from (a) a dropped never-published handle (no other thread ever
-/// knew the address) or (b) the hazard domain's reclaimer, which runs only
-/// once no thread holds a protection — exactly the point at which handing
-/// the block to a *different* allocation would also have been legal.
-struct DescPool {
-    free: Vec<NonNull<DcasDesc>>,
-}
+pub(crate) const DESC_POOL_CAP: usize = 64;
 
 thread_local! {
-    static POOL: Cell<*mut DescPool> = const { Cell::new(std::ptr::null_mut()) };
-}
-
-fn with_pool<R>(f: impl FnOnce(&mut DescPool) -> R) -> R {
-    POOL.with(|cell| {
-        let mut p = cell.get();
-        if p.is_null() {
-            p = Box::into_raw(Box::new(DescPool { free: Vec::new() }));
-            cell.set(p);
-            on_thread_exit(Box::new(move || {
-                POOL.with(|c| c.set(std::ptr::null_mut()));
-                // Safety: created above; the hook runs once per thread.
-                let pool = unsafe { Box::from_raw(p) };
-                for d in pool.free {
-                    // Safety: pooled blocks came from `alloc_block` with the
-                    // descriptor layout and are unreachable.
-                    unsafe { lfc_alloc::free_block(d.as_ptr() as *mut u8, DESC_LAYOUT) };
-                }
-            }));
-        }
-        // Safety: thread-exclusive, not re-entered.
-        f(unsafe { &mut *p })
-    })
+    static POOL: crate::pool::PoolCell<DcasDesc> = const { Cell::new(std::ptr::null_mut()) };
 }
 
 /// Allocate a descriptor: pool hit, or a fresh pool-backed block.
+///
+/// `DescHandle::new` on the seed path paid, per DCAS attempt: a size-class
+/// lookup plus magazine pop in `lfc-alloc` and a full 9-field descriptor
+/// write. The pool (see [`crate::pool`] for the shared machinery and its
+/// safety argument) reduces the hit path to one `Vec::pop` and a single
+/// `res` reset — the CAS triples are overwritten by `set_first` /
+/// `set_second` anyway.
 fn alloc_desc() -> NonNull<DcasDesc> {
-    if !thread_is_exiting() {
-        let hit = with_pool(|pool| pool.free.pop());
-        if let Some(d) = hit {
+    crate::pool::alloc(
+        &POOL,
+        DESC_LAYOUT,
+        |d| {
             counters::DESC_POOL_HITS.fetch_add(1, Ordering::Relaxed);
-            // Safety: unreachable by any other thread (see `DescPool`);
+            // Safety: unreachable by any other thread (pool contract);
             // Relaxed reset is enough — publication happens-before is
             // established by the announcing CAS, never by this store.
             unsafe { d.as_ref() }
@@ -152,26 +124,25 @@ fn alloc_desc() -> NonNull<DcasDesc> {
                 m.ptr1 = std::ptr::null();
                 m.ptr2 = std::ptr::null();
             }
-            return d;
-        }
-    }
-    counters::DESC_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
-    let block = lfc_alloc::alloc_block(DESC_LAYOUT).cast::<DcasDesc>();
-    // Safety: freshly allocated, properly aligned and sized.
-    unsafe {
-        block.as_ptr().write(DcasDesc {
-            ptr1: std::ptr::null(),
-            old1: 0,
-            new1: 0,
-            hp1: 0,
-            ptr2: std::ptr::null(),
-            old2: 0,
-            new2: 0,
-            hp2: 0,
-            res: AtomicUsize::new(RES_UNDECIDED),
-        });
-    }
-    block
+        },
+        |block| {
+            counters::DESC_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            // Safety: freshly allocated, properly aligned and sized.
+            unsafe {
+                block.as_ptr().write(DcasDesc {
+                    ptr1: std::ptr::null(),
+                    old1: 0,
+                    new1: 0,
+                    hp1: 0,
+                    ptr2: std::ptr::null(),
+                    old2: 0,
+                    new2: 0,
+                    hp2: 0,
+                    res: AtomicUsize::new(RES_UNDECIDED),
+                });
+            }
+        },
+    )
 }
 
 /// Return an unreachable descriptor to the pool (or the backing allocator).
@@ -181,21 +152,8 @@ fn alloc_desc() -> NonNull<DcasDesc> {
 /// `d` must be a live descriptor no thread can reach: either never
 /// published, or past its hazard-domain reclamation point.
 unsafe fn dealloc_desc(d: NonNull<DcasDesc>) {
-    if !thread_is_exiting() {
-        let pooled = with_pool(|pool| {
-            if pool.free.len() < DESC_POOL_CAP {
-                pool.free.push(d);
-                true
-            } else {
-                false
-            }
-        });
-        if pooled {
-            return;
-        }
-    }
-    // Safety: forwarded contract; block came from `alloc_block`.
-    unsafe { lfc_alloc::free_block(d.as_ptr() as *mut u8, DESC_LAYOUT) };
+    // Safety: forwarded contract.
+    unsafe { crate::pool::dealloc(&POOL, DESC_LAYOUT, DESC_POOL_CAP, d) };
 }
 
 unsafe fn reclaim_desc(p: *mut u8) {
@@ -256,6 +214,27 @@ impl DescHandle {
         d.hp2 = hp2;
     }
 
+    /// Record the first triple from a prepared engine entry
+    /// (the unified commit's K=2 dispatch, [`crate::engine`]). Crate-only:
+    /// the entry's raw `ptr` is dereferenced by `commit`, so the liveness
+    /// obligation stays inside the engine's `commit_entries` contract.
+    pub(crate) fn set_first_from(&mut self, e: &CasnEntry) {
+        let d = self.desc_mut();
+        d.ptr1 = e.ptr;
+        d.old1 = e.old;
+        d.new1 = e.new;
+        d.hp1 = e.hp;
+    }
+
+    /// Record the second triple from a prepared engine entry.
+    pub(crate) fn set_second_from(&mut self, e: &CasnEntry) {
+        let d = self.desc_mut();
+        d.ptr2 = e.ptr;
+        d.old2 = e.old;
+        d.new2 = e.new;
+        d.hp2 = e.hp;
+    }
+
     /// Address of the first word, for alias detection (a DCAS whose two
     /// words coincide can never succeed — e.g. a stack moved onto itself).
     pub fn first_word_addr(&self) -> usize {
@@ -293,25 +272,33 @@ impl DescHandle {
             // second comparison sees the announcement, not `old2`).
             if !std::ptr::eq(d.ptr1, d.ptr2) {
                 if let Some(_solo) = solo::try_enter() {
-                    // Safety: target allocations are kept alive by the
-                    // initiating operation's borrows/hazards, as on the
-                    // slow path.
-                    let ptr1 = unsafe { &*d.ptr1 };
-                    let ptr2 = unsafe { &*d.ptr2 };
-                    if !ptr1.cas_word(d.old1, d.new1) {
-                        return (DcasResult::FirstFailed, Some(self));
-                    }
-                    if !ptr2.cas_word(d.old2, d.new2) {
-                        // Unobservable intermediate: revert the first word.
-                        // The handle was never published, so the caller
-                        // reuses it directly (its first triple is intact).
-                        let reverted = ptr1.cas_word(d.new1, d.old1);
-                        debug_assert!(reverted, "solo-mode revert cannot be contended");
-                        return (DcasResult::SecondFailed, Some(self));
-                    }
-                    // Success: never published, so Drop recycles the
-                    // descriptor straight into the pool — no retire scan.
-                    return (DcasResult::Success, None);
+                    // The DCAS solo path is the K=2 instance of the engine's
+                    // shared solo commit (`kcas::solo_commit`): run the CASes
+                    // back to back, reverting on a mismatch. Safety: target
+                    // allocations are kept alive by the initiating
+                    // operation's borrows/hazards, as on the slow path.
+                    let entries = [
+                        CasnEntry {
+                            ptr: d.ptr1,
+                            old: d.old1,
+                            new: d.new1,
+                            hp: d.hp1,
+                        },
+                        CasnEntry {
+                            ptr: d.ptr2,
+                            old: d.old2,
+                            new: d.new2,
+                            hp: d.hp2,
+                        },
+                    ];
+                    return match crate::kcas::solo_commit(&entries) {
+                        // Never published: the handle is reused directly
+                        // (its first triple is intact) or, on success,
+                        // Drop recycles it straight into the pool.
+                        CasnResult::Success => (DcasResult::Success, None),
+                        CasnResult::FailedAt(0) => (DcasResult::FirstFailed, Some(self)),
+                        CasnResult::FailedAt(_) => (DcasResult::SecondFailed, Some(self)),
+                    };
                 }
             }
         }
@@ -343,6 +330,40 @@ impl DescHandle {
                 (result, None)
             }
         }
+    }
+
+    /// Publish and run the DCAS as the initiator, without the retry
+    /// hand-back of [`Self::commit`]: the unified engine
+    /// ([`crate::engine::commit_entries`]) re-captures its entries into a
+    /// fresh pooled handle on retry, so copying the first-side triple into
+    /// a new descriptor here would round-trip a pooled block per contended
+    /// failure for nothing. The solo regime is likewise the engine's job
+    /// (its regime 1), dispatched before this path is reached, and the
+    /// engine's alias detection guarantees the two words are distinct.
+    pub(crate) fn commit_engine(self, g: &Guard) -> DcasResult {
+        let addr = self.desc.as_ptr() as usize;
+        debug_assert_eq!(
+            self.desc().res.load(Ordering::Relaxed),
+            RES_UNDECIDED,
+            "descriptor reuse after publication"
+        );
+        debug_assert!(!self.desc().ptr1.is_null() && !self.desc().ptr2.is_null());
+        debug_assert!(
+            !std::ptr::eq(self.desc().ptr1, self.desc().ptr2),
+            "engine entries are pairwise distinct"
+        );
+
+        // Safety: we own the descriptor; `dcas_run` publishes it.
+        let result = unsafe { dcas_run(word::dcas_plain(addr), true, g) };
+        if let DcasResult::FirstFailed = result {
+            // Announcement failed: never published, so Drop recycles the
+            // block straight into the pool.
+            drop(self);
+        } else {
+            // Published (helpers may hold it): through the hazard domain.
+            self.retire();
+        }
+        result
     }
 
     /// Retire the (published) descriptor through the hazard domain.

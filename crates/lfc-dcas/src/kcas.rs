@@ -42,6 +42,7 @@ use crate::atomic::DAtomic;
 use crate::word::{self, Word};
 use lfc_hazard::{slot, Guard};
 use std::alloc::Layout;
+use std::cell::Cell;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -102,8 +103,59 @@ unsafe impl Sync for CasnDesc {}
 
 const CASN_LAYOUT: Layout = Layout::new::<CasnDesc>();
 
+thread_local! {
+    static CASN_POOL: crate::pool::PoolCell<CasnDesc> = const { Cell::new(std::ptr::null_mut()) };
+    static RDCSS_POOL: crate::pool::PoolCell<RdcssDesc> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// Diagnostic counters for the CASN/RDCSS pools (Relaxed; used by the
+/// pooling tests asserting the steady-state hot path never falls through to
+/// `lfc-alloc`). Padded like the DCAS counters.
+pub mod counters {
+    use lfc_runtime::CachePadded;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub(crate) static CASN_POOL_HITS: CachePadded<AtomicUsize> =
+        CachePadded::new(AtomicUsize::new(0));
+    pub(crate) static CASN_POOL_MISSES: CachePadded<AtomicUsize> =
+        CachePadded::new(AtomicUsize::new(0));
+    pub(crate) static RDCSS_POOL_HITS: CachePadded<AtomicUsize> =
+        CachePadded::new(AtomicUsize::new(0));
+    pub(crate) static RDCSS_POOL_MISSES: CachePadded<AtomicUsize> =
+        CachePadded::new(AtomicUsize::new(0));
+
+    /// CASN descriptor allocations served by the per-thread pool.
+    pub fn casn_pool_hits() -> usize {
+        CASN_POOL_HITS.load(Ordering::Relaxed)
+    }
+
+    /// CASN descriptor allocations that fell through to `lfc-alloc`.
+    pub fn casn_pool_misses() -> usize {
+        CASN_POOL_MISSES.load(Ordering::Relaxed)
+    }
+
+    /// RDCSS descriptor allocations served by the per-thread pool.
+    pub fn rdcss_pool_hits() -> usize {
+        RDCSS_POOL_HITS.load(Ordering::Relaxed)
+    }
+
+    /// RDCSS descriptor allocations that fell through to `lfc-alloc`.
+    pub fn rdcss_pool_misses() -> usize {
+        RDCSS_POOL_MISSES.load(Ordering::Relaxed)
+    }
+}
+
 unsafe fn reclaim_casn(p: *mut u8) {
-    unsafe { lfc_alloc::free_block(p, CASN_LAYOUT) };
+    // CasnDesc has no drop glue; recycle the block through the pool.
+    // Safety: the hazard domain guarantees unreachability.
+    unsafe {
+        crate::pool::dealloc(
+            &CASN_POOL,
+            CASN_LAYOUT,
+            crate::dcas::DESC_POOL_CAP,
+            NonNull::new_unchecked(p as *mut CasnDesc),
+        )
+    };
 }
 
 /// RDCSS descriptor: install `casn_word` at `word` iff `*status` is still
@@ -122,7 +174,15 @@ unsafe impl Sync for RdcssDesc {}
 const RDCSS_LAYOUT: Layout = Layout::new::<RdcssDesc>();
 
 unsafe fn reclaim_rdcss(p: *mut u8) {
-    unsafe { lfc_alloc::free_block(p, RDCSS_LAYOUT) };
+    // Safety: the hazard domain guarantees unreachability.
+    unsafe {
+        crate::pool::dealloc(
+            &RDCSS_POOL,
+            RDCSS_LAYOUT,
+            crate::dcas::DESC_POOL_CAP,
+            NonNull::new_unchecked(p as *mut RdcssDesc),
+        )
+    };
 }
 
 /// Uniquely owned, unpublished CASN descriptor.
@@ -139,17 +199,35 @@ impl std::fmt::Debug for CasnHandle {
 }
 
 impl CasnHandle {
-    /// Allocate an empty descriptor.
+    /// Allocate an empty descriptor (per-thread pooled, 512-aligned).
     pub fn new() -> Self {
-        let block = lfc_alloc::alloc_block(CASN_LAYOUT).cast::<CasnDesc>();
-        // Safety: fresh block.
-        unsafe {
-            block.as_ptr().write(CasnDesc {
-                entries: [CasnEntry::default(); MAX_ENTRIES],
-                count: 0,
-                status: AtomicUsize::new(ST_UNDECIDED),
-            });
-        }
+        let block = crate::pool::alloc(
+            &CASN_POOL,
+            CASN_LAYOUT,
+            |d| {
+                counters::CASN_POOL_HITS.fetch_add(1, Ordering::Relaxed);
+                // Safety: unreachable by any other thread (pool contract).
+                // Relaxed reset suffices: publication happens-before is
+                // established by the phase-1 RDCSS installs, never here.
+                unsafe { d.as_ref() }
+                    .status
+                    .store(ST_UNDECIDED, Ordering::Relaxed);
+                // Safety: exclusively owned; entries are governed by
+                // `count`, so stale triples are unreachable.
+                unsafe { (*d.as_ptr()).count = 0 };
+            },
+            |block| {
+                counters::CASN_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+                // Safety: fresh block.
+                unsafe {
+                    block.as_ptr().write(CasnDesc {
+                        entries: [CasnEntry::default(); MAX_ENTRIES],
+                        count: 0,
+                        status: AtomicUsize::new(ST_UNDECIDED),
+                    });
+                }
+            },
+        );
         CasnHandle { desc: block }
     }
 
@@ -170,55 +248,35 @@ impl CasnHandle {
 
     /// Record entry `i` (must be `count()`); entries need not be sorted.
     pub fn set_entry(&mut self, idx: usize, ptr: &DAtomic, old: Word, new: Word, hp: usize) {
+        self.set_entry_from(idx, &CasnEntry { ptr, old, new, hp });
+    }
+
+    /// Record entry `idx` from a prepared engine entry
+    /// (the unified commit's K>2 dispatch, [`crate::engine`]). Crate-only:
+    /// the entry's raw `ptr` is dereferenced by `commit`, so the liveness
+    /// obligation stays inside the engine's `commit_entries` contract.
+    pub(crate) fn set_entry_from(&mut self, idx: usize, e: &CasnEntry) {
         assert!(
             idx < MAX_ENTRIES,
             "CASN supports at most {MAX_ENTRIES} entries"
         );
         let d = self.desc_mut();
-        d.entries[idx] = CasnEntry { ptr, old, new, hp };
+        d.entries[idx] = *e;
         d.count = d.count.max(idx + 1);
     }
 
-    /// Truncate to `n` entries (multi-move reuses a handle across retries).
-    pub fn truncate(&mut self, n: usize) {
-        self.desc_mut().count = n;
-    }
-
-    /// Whether any recorded entry word aliases `ptr`.
-    pub fn aliases(&self, ptr: &DAtomic) -> bool {
-        let d = self.desc();
-        d.entries[..d.count]
-            .iter()
-            .any(|e| std::ptr::eq(e.ptr, ptr as *const DAtomic))
-    }
-
-    /// Publish and run the CASN as its initiator. Consumes the handle;
-    /// returns the result and — on failure — a fresh handle pre-loaded with
-    /// the entries *before* the failing index (whose captures remain valid
-    /// at the protocol level for the multi-move's partial retry).
-    pub fn commit(self, g: &Guard) -> (CasnResult, Option<CasnHandle>) {
+    /// Publish and run the CASN as its initiator. Consumes the handle and
+    /// retires the descriptor through the hazard domain (helpers may still
+    /// hold it); the composition engine re-captures into a fresh pooled
+    /// handle on retry, so no partial state is handed back.
+    pub fn commit(self, g: &Guard) -> CasnResult {
         let addr = self.desc.as_ptr() as usize;
         let d = self.desc();
         debug_assert!(d.count >= 2, "a CASN of fewer than 2 words is a CAS");
         debug_assert_eq!(d.status.load(Ordering::Relaxed), ST_UNDECIDED);
         let result = casn_execute(d, word::casn_word(addr), g, true);
-        match result {
-            CasnResult::Success => {
-                self.retire();
-                (result, None)
-            }
-            CasnResult::FailedAt(k) => {
-                let mut fresh = CasnHandle::new();
-                {
-                    let src = self.desc();
-                    let dst = fresh.desc_mut();
-                    dst.entries = src.entries;
-                    dst.count = k.min(src.count);
-                }
-                self.retire();
-                (result, Some(fresh))
-            }
-        }
+        self.retire();
+        result
     }
 
     fn retire(self) {
@@ -389,6 +447,34 @@ fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnRe
     decode_status(status)
 }
 
+/// The shared solo-regime commit: run the `entries` CASes back to back,
+/// reverting the prefix on the first mismatch. Both the DCAS fast path
+/// (K=2) and the unified engine commit ([`crate::engine::commit_entries`])
+/// run this exact function inside a [`lfc_runtime::solo`] section.
+///
+/// Sound only while a [`lfc_runtime::solo::SoloSection`] is held: no other
+/// thread can observe shared memory, so the intermediate states between the
+/// CASes (and between a failed CAS and its rollback) are unobservable by
+/// construction — which is precisely the atomicity the descriptor protocol
+/// otherwise provides.
+#[inline]
+pub(crate) fn solo_commit(entries: &[CasnEntry]) -> CasnResult {
+    for (i, e) in entries.iter().enumerate() {
+        // Safety: target allocations are kept alive by the initiating
+        // operation's borrows/hazards, exactly as on the published path.
+        let word = unsafe { &*e.ptr };
+        if !word.cas_word(e.old, e.new) {
+            for p in entries[..i].iter().rev() {
+                // Safety: as above.
+                let reverted = unsafe { &*p.ptr }.cas_word(p.new, p.old);
+                debug_assert!(reverted, "solo-mode revert cannot be contended");
+            }
+            return CasnResult::FailedAt(i);
+        }
+    }
+    CasnResult::Success
+}
+
 fn decode_status(st: usize) -> CasnResult {
     match st {
         ST_SUCCEEDED => CasnResult::Success,
@@ -398,16 +484,30 @@ fn decode_status(st: usize) -> CasnResult {
 }
 
 fn alloc_rdcss(status: &AtomicUsize, e: &CasnEntry, casn_word: Word) -> Word {
-    let block = lfc_alloc::alloc_block(RDCSS_LAYOUT).cast::<RdcssDesc>();
-    // Safety: fresh block.
-    unsafe {
-        block.as_ptr().write(RdcssDesc {
-            status,
-            word: e.ptr,
-            old: e.old,
-            casn_word,
-        });
-    }
+    let fill = |block: NonNull<RdcssDesc>| {
+        // Safety: exclusively owned (fresh or pooled — see `crate::pool`);
+        // every field is overwritten, and RdcssDesc has no drop glue.
+        unsafe {
+            block.as_ptr().write(RdcssDesc {
+                status,
+                word: e.ptr,
+                old: e.old,
+                casn_word,
+            });
+        }
+    };
+    let block = crate::pool::alloc(
+        &RDCSS_POOL,
+        RDCSS_LAYOUT,
+        |d| {
+            counters::RDCSS_POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            fill(d);
+        },
+        |d| {
+            counters::RDCSS_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            fill(d);
+        },
+    );
     word::rdcss_word(block.as_ptr() as usize)
 }
 
@@ -464,8 +564,7 @@ mod tests {
         for (i, w) in words.iter().enumerate() {
             h.set_entry(i, w, olds[i], news[i], 0);
         }
-        let (r, _) = h.commit(g);
-        r
+        h.commit(g)
     }
 
     #[test]
@@ -541,7 +640,7 @@ mod tests {
                         h.set_entry(0, &w[0], v0, v0 + 24, 0);
                         h.set_entry(1, &w[1], v0 + 8, v0 + 32, 0);
                         h.set_entry(2, &w[2], v0 + 16, v0 + 40, 0);
-                        if let (CasnResult::Success, _) = h.commit(&g) {
+                        if let CasnResult::Success = h.commit(&g) {
                             done += 1;
                             total.fetch_add(1, O::Relaxed);
                         }
@@ -602,7 +701,7 @@ mod tests {
             let mut h = CasnHandle::new();
             h.set_entry(0, &a, v, v + 8, 0);
             h.set_entry(1, &b, v, v + 8, 0);
-            let (r, _) = h.commit(&g);
+            let r = h.commit(&g);
             assert_eq!(r, CasnResult::Success);
         }
         lfc_hazard::flush();

@@ -2,19 +2,26 @@
 //! Cederman & Tsigas §3.2.2 (Algorithm 4), plus the CASN generalization the
 //! paper's conclusion proposes for n-object moves.
 //!
-//! The composition layer (`lfc-core`) captures the two linearization-point
-//! CAS triples of a remove and an insert operation in a [`DcasDesc`] and
-//! commits them together through [`DescHandle::commit`]; data structures
-//! route every read of a composable word through [`DAtomic::read`] so that
-//! readers help in-flight operations finish (lock-freedom).
+//! The composition layer (`lfc-core`) captures the linearization-point CAS
+//! triples of the composed operations as [`CasnEntry`] values and commits
+//! them together through the unified [`engine::commit_entries`] — DCAS is
+//! its K=2 specialization, CASN the general case, and both share the
+//! per-thread descriptor pools and the solo-regime fast path. Data
+//! structures route every read of a composable word through
+//! [`DAtomic::read`] so that readers help in-flight operations finish
+//! (lock-freedom).
 
 #![warn(missing_docs)]
 
 pub mod atomic;
 pub mod dcas;
+pub mod engine;
 pub mod kcas;
+pub(crate) mod pool;
 pub mod word;
 
 pub use atomic::DAtomic;
 pub use dcas::{counters, DcasDesc, DcasResult, DescHandle};
+pub use engine::commit_entries;
+pub use kcas::{CasnEntry, CasnResult, MAX_ENTRIES};
 pub use word::Word;

@@ -70,17 +70,31 @@ pub mod slot {
     pub const KCAS0: usize = 9;
     /// Number of CASN helper slots.
     pub const KCAS_COUNT: usize = 7;
+    /// Base of the composition engine's per-entry protections. A k-stage
+    /// composition (k > 2) runs several same-role operations nested inside
+    /// one another, and the *n*-th insert's INS0–INS2 publications would
+    /// overwrite the (n−1)-th insert's (likewise nested removes and REM*);
+    /// the engine therefore hands each captured entry's allocation off to
+    /// its own ENTRY slot at capture time, keeping every entry word
+    /// protected until the commit resolves. Disjoint from the KCAS* range:
+    /// ENTRY slots belong to the *initiating* thread's composition, KCAS*
+    /// to the same thread's *helping* of foreign CASNs (a `read` inside a
+    /// nested operation can help a foreign CASN mid-composition).
+    pub const ENTRY0: usize = 16;
+    /// Number of engine entry slots (one per possible CASN entry).
+    pub const ENTRY_COUNT: usize = 6;
 }
 
 /// Hazard slots per registered thread.
-pub const SLOTS_PER_THREAD: usize = 16;
+pub const SLOTS_PER_THREAD: usize = 22;
 
 /// One thread's hazard slots, cache-line padded. Slots are among the
 /// hottest written words in the system (several stores per structure
 /// operation); before padding, neighbouring threads' banks shared lines in
 /// one flat array and every hazard publication invalidated other threads'
-/// cached banks. `16 × 8 = 128` bytes puts each bank on exactly one
-/// aligned prefetch-pair of lines.
+/// cached banks. The alignment keeps each bank on its own aligned
+/// prefetch-pairs of lines (`22 × 8 = 176` bytes, padded to 256 by the
+/// alignment); the hot slots (INS*/REM*/DESC) all sit in the first pair.
 #[repr(align(128))]
 struct SlotBank {
     slots: [AtomicUsize; SLOTS_PER_THREAD],

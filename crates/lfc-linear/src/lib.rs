@@ -23,7 +23,7 @@ pub use checker::{check_linearizable, CheckResult};
 pub use history::{Entry, Recorder};
 pub use specs::{
     Cont, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp, PairSpec, QueueOp, QueueSpec,
-    StackOp, StackSpec,
+    StackOp, StackSpec, SwapResult, TrioOp, TrioSpec,
 };
 
 use std::hash::Hash;

@@ -113,6 +113,17 @@ impl ContState {
     }
 }
 
+/// Observed outcome of a composed swap (one element each way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwapResult {
+    /// Both removes found an element; they changed places atomically.
+    Swapped,
+    /// The first container was observed empty (second untouched).
+    FirstEmpty,
+    /// The first container held an element but the second was empty.
+    SecondEmpty,
+}
+
 /// Operations on a pair of containers (A, B) with an atomic move.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PairOp {
@@ -130,6 +141,9 @@ pub enum PairOp {
     MoveAB(bool),
     /// Move in the other direction.
     MoveBA(bool),
+    /// Composed swap (A's removal inserted into B and vice versa): four
+    /// linearization points, ONE action in the sequential history.
+    Swap(SwapResult),
 }
 
 /// Specification of two containers composed with an atomic move.
@@ -183,6 +197,22 @@ impl Spec for PairSpec {
                 }
                 (None, false) => Some((a, b)),
                 _ => None,
+            },
+            PairOp::Swap(r) => match r {
+                // Empty outcomes change nothing; they are legal exactly
+                // when the observed emptiness holds in `state`.
+                SwapResult::FirstEmpty => a.remove().is_none().then(|| state.clone()),
+                SwapResult::SecondEmpty => {
+                    (a.remove().is_some() && b.remove().is_none()).then(|| state.clone())
+                }
+                SwapResult::Swapped => match (a.remove(), b.remove()) {
+                    (Some(x), Some(y)) => {
+                        a.insert(y);
+                        b.insert(x);
+                        Some((a, b))
+                    }
+                    _ => None,
+                },
             },
         }
     }
@@ -252,6 +282,71 @@ impl Spec for KeyedPairSpec {
             },
         };
         ok.then_some((a, b))
+    }
+}
+
+/// Operations on a source container A broadcast-composed with two targets
+/// (B, C) — the sequential specification of `move_to_all` with two targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrioOp {
+    /// Insert into the source A.
+    InsA(u32),
+    /// Remove from A with the observed outcome.
+    RemA(Option<u32>),
+    /// Remove from target B.
+    RemB(Option<u32>),
+    /// Remove from target C.
+    RemC(Option<u32>),
+    /// Composed broadcast A → {B, C}; `true` if an element moved (a clone
+    /// arrives in BOTH targets at the same single action), `false` if A was
+    /// observed empty. An observer must never see the element in a strict
+    /// subset of the targets.
+    Broadcast(bool),
+}
+
+/// Specification of a source and two targets composed with `move_to_all`.
+#[derive(Clone, Copy, Debug)]
+pub struct TrioSpec {
+    /// Discipline of the source A.
+    pub a: Cont,
+    /// Discipline of target B.
+    pub b: Cont,
+    /// Discipline of target C.
+    pub c: Cont,
+}
+
+impl Spec for TrioSpec {
+    type State = (ContState, ContState, ContState);
+    type Op = TrioOp;
+
+    fn init(&self) -> Self::State {
+        (
+            ContState::new(self.a),
+            ContState::new(self.b),
+            ContState::new(self.c),
+        )
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+        let (mut a, mut b, mut c) = state.clone();
+        match op {
+            TrioOp::InsA(v) => {
+                a.insert(*v);
+                Some((a, b, c))
+            }
+            TrioOp::RemA(expected) => (a.remove() == *expected).then_some((a, b, c)),
+            TrioOp::RemB(expected) => (b.remove() == *expected).then_some((a, b, c)),
+            TrioOp::RemC(expected) => (c.remove() == *expected).then_some((a, b, c)),
+            TrioOp::Broadcast(moved) => match (a.remove(), moved) {
+                (Some(v), true) => {
+                    b.insert(v);
+                    c.insert(v);
+                    Some((a, b, c))
+                }
+                (None, false) => Some((a, b, c)),
+                _ => None,
+            },
+        }
     }
 }
 
@@ -346,6 +441,91 @@ mod tests {
             e(PairOp::MoveAB(true), 2, 20),
             e(PairOp::RemB(None), 3, 5),
             e(PairOp::RemB(Some(7)), 6, 19),
+        ];
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn swap_spec_semantics() {
+        let spec = PairSpec {
+            a: Cont::Fifo,
+            b: Cont::Fifo,
+        };
+        let st = spec.init();
+        assert!(spec
+            .apply(&st, &PairOp::Swap(SwapResult::Swapped))
+            .is_none());
+        let st = spec
+            .apply(&st, &PairOp::Swap(SwapResult::FirstEmpty))
+            .unwrap();
+        let st = spec.apply(&st, &PairOp::InsA(1)).unwrap();
+        assert!(spec
+            .apply(&st, &PairOp::Swap(SwapResult::FirstEmpty))
+            .is_none());
+        let st = spec
+            .apply(&st, &PairOp::Swap(SwapResult::SecondEmpty))
+            .unwrap();
+        let st = spec.apply(&st, &PairOp::InsB(2)).unwrap();
+        let st = spec.apply(&st, &PairOp::Swap(SwapResult::Swapped)).unwrap();
+        let st = spec.apply(&st, &PairOp::RemA(Some(2))).unwrap();
+        let st = spec.apply(&st, &PairOp::RemB(Some(1))).unwrap();
+        let _ = st;
+    }
+
+    #[test]
+    fn torn_swap_is_not_linearizable() {
+        // a=[1], b=[2]; a successful swap spans the window. Inside it an
+        // observer removes 1 from a and then 2 from a — but 2 can only be
+        // in a after the swap, and the swap needs 1 still in a: no single
+        // point exists.
+        let spec = PairSpec {
+            a: Cont::Fifo,
+            b: Cont::Fifo,
+        };
+        let h = vec![
+            e(PairOp::InsA(1), 0, 1),
+            e(PairOp::InsB(2), 2, 3),
+            e(PairOp::Swap(SwapResult::Swapped), 4, 20),
+            e(PairOp::RemA(Some(1)), 5, 7),
+            e(PairOp::RemA(Some(2)), 8, 10),
+        ];
+        assert_eq!(check_linearizable(&spec, &h), CheckResult::NotLinearizable);
+        // Control: observing only the post-swap head is linearizable.
+        let h = vec![
+            e(PairOp::InsA(1), 0, 1),
+            e(PairOp::InsB(2), 2, 3),
+            e(PairOp::Swap(SwapResult::Swapped), 4, 20),
+            e(PairOp::RemA(Some(2)), 5, 7),
+        ];
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn trio_broadcast_in_strict_subset_is_not_linearizable() {
+        // One element in A; a successful broadcast spans the window. An
+        // observer sees it arrive in B while C is still observed empty
+        // *after* B's removal completed: the element was visible in a
+        // strict subset of the targets — exactly what move_to_all forbids.
+        let spec = TrioSpec {
+            a: Cont::Fifo,
+            b: Cont::Fifo,
+            c: Cont::Fifo,
+        };
+        let te = |op, invoke, ret| Entry { op, invoke, ret };
+        let h = vec![
+            te(TrioOp::InsA(7), 0, 1),
+            te(TrioOp::Broadcast(true), 2, 20),
+            te(TrioOp::RemB(Some(7)), 3, 5),
+            te(TrioOp::RemC(None), 6, 8),
+        ];
+        assert_eq!(check_linearizable(&spec, &h), CheckResult::NotLinearizable);
+        // Control: both targets observed consistently.
+        let h = vec![
+            te(TrioOp::InsA(7), 0, 1),
+            te(TrioOp::Broadcast(true), 2, 20),
+            te(TrioOp::RemB(Some(7)), 3, 5),
+            te(TrioOp::RemC(Some(7)), 6, 8),
+            te(TrioOp::RemA(None), 9, 11),
         ];
         assert!(check_linearizable(&spec, &h).is_linearizable());
     }

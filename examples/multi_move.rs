@@ -6,7 +6,7 @@
 //! cargo run --release --example multi_move
 //! ```
 
-use lockfree_compose::{move_to_all, MoveOutcome, MsQueue, TreiberStack};
+use lockfree_compose::{move_to_all, DynMoveTarget, MoveOutcome, MsQueue, TreiberStack};
 
 fn main() {
     let staging: MsQueue<u64> = MsQueue::new();
@@ -21,10 +21,11 @@ fn main() {
     // Publish each staged job to the worker, the replica AND the audit log
     // in one atomic step: a crash-style observer can never see a job that
     // reached the worker but not the audit log.
+    // Heterogeneous targets (stack + queues) share one slice through the
+    // library's object-safe `DynMoveTarget` bridge.
+    let targets: [&dyn DynMoveTarget<u64>; 3] = [&worker, &replica, &audit_log];
     let mut published = 0;
-    while move_to_all(&staging, &[&worker as &dyn AnyTarget, &replica, &audit_log])
-        == MoveOutcome::Moved
-    {
+    while move_to_all(&staging, &targets) == MoveOutcome::Moved {
         published += 1;
     }
     println!("published {published} jobs to 3 destinations atomically");
@@ -43,40 +44,4 @@ fn main() {
     );
     assert_eq!(audit_log.count(), 5);
     println!("audit log complete: every job accounted for");
-}
-
-/// Object-safe adapter so heterogeneous targets (queue + stack) can share
-/// one `&[&dyn ...]` slice.
-trait AnyTarget: Sync {
-    fn do_insert(
-        &self,
-        v: u64,
-        ctx: &mut dyn lockfree_compose::InsertCtx,
-    ) -> lockfree_compose::InsertOutcome;
-}
-
-impl<X: lockfree_compose::MoveTarget<u64> + Sync> AnyTarget for X {
-    fn do_insert(
-        &self,
-        v: u64,
-        ctx: &mut dyn lockfree_compose::InsertCtx,
-    ) -> lockfree_compose::InsertOutcome {
-        struct Fwd<'a>(&'a mut dyn lockfree_compose::InsertCtx);
-        impl lockfree_compose::InsertCtx for Fwd<'_> {
-            fn scas(&mut self, lp: lockfree_compose::LinPoint<'_>) -> lockfree_compose::ScasResult {
-                self.0.scas(lp)
-            }
-        }
-        self.insert_with(v, &mut Fwd(ctx))
-    }
-}
-
-impl lockfree_compose::MoveTarget<u64> for dyn AnyTarget + '_ {
-    fn insert_with<C: lockfree_compose::InsertCtx>(
-        &self,
-        elem: u64,
-        ctx: &mut C,
-    ) -> lockfree_compose::InsertOutcome {
-        self.do_insert(elem, ctx)
-    }
 }

@@ -29,10 +29,17 @@
 #![warn(missing_docs)]
 
 pub use lfc_core::{
-    move_keyed, move_one, move_to_all, InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget,
-    LinPoint, MoveOutcome, MoveSource, MoveTarget, NormalCas, RemoveCtx, RemoveOutcome, ScasResult,
-    MAX_TARGETS,
+    move_keyed, move_keyed_to_all, move_keyed_to_unkeyed, move_one, move_to_all, swap, Composition,
+    DynMoveTarget, InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint,
+    MoveOutcome, MoveSource, MoveTarget, NormalCas, RemoveCtx, RemoveOutcome, ScasResult,
+    SwapOutcome, MAX_ENTRIES, MAX_TARGETS,
 };
+/// The composition-engine builder module (sources, stages, [`Composition`]).
+pub mod compose {
+    pub use lfc_core::compose::{
+        Commit, Composition, InsertStage, KeyedInsertStage, KeyedSource, Source, Stages,
+    };
+}
 pub use lfc_dcas::{DAtomic, DcasResult};
 pub use lfc_runtime::{Backoff, BackoffCfg, TtasLock};
 pub use lfc_structures::*;
@@ -52,6 +59,7 @@ pub mod alloc_stats {
 pub mod linear {
     pub use lfc_linear::{
         check_linearizable, CheckResult, Cont, Entry, KeyedMoveResult, KeyedPairOp, KeyedPairSpec,
-        PairOp, PairSpec, QueueOp, QueueSpec, Recorder, Spec, StackOp, StackSpec,
+        PairOp, PairSpec, QueueOp, QueueSpec, Recorder, Spec, StackOp, StackSpec, SwapResult,
+        TrioOp, TrioSpec,
     };
 }

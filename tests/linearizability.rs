@@ -7,8 +7,12 @@
 //! exact property Figure 1d claims — the unified linearization point.
 
 use lfc_runtime::SmallRng;
-use lockfree_compose::linear::{check_linearizable, Cont, PairOp, PairSpec, Recorder};
-use lockfree_compose::{move_one, MoveOutcome, MsQueue, TreiberStack};
+use lockfree_compose::linear::{
+    check_linearizable, Cont, PairOp, PairSpec, Recorder, SwapResult, TrioOp, TrioSpec,
+};
+use lockfree_compose::{
+    move_one, move_to_all, swap, MoveOutcome, MsQueue, SwapOutcome, TreiberStack,
+};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Run a small randomized workload on (queue, stack) recording every
@@ -130,6 +134,136 @@ fn recorded_move_only_histories_are_linearizable() {
         assert!(
             verdict.is_linearizable(),
             "round {round}: move-only history not linearizable: {h:?}"
+        );
+    }
+}
+
+#[test]
+fn recorded_swap_histories_are_linearizable() {
+    // Queue/queue swaps racing inserts, removes and moves: the swap's four
+    // linearization points must appear as ONE action in every explaining
+    // sequential history.
+    fn swap_result(o: SwapOutcome) -> SwapResult {
+        match o {
+            SwapOutcome::Swapped => SwapResult::Swapped,
+            SwapOutcome::FirstEmpty => SwapResult::FirstEmpty,
+            SwapOutcome::SecondEmpty => SwapResult::SecondEmpty,
+            SwapOutcome::Rejected | SwapOutcome::WouldAlias => {
+                unreachable!("distinct unbounded queues")
+            }
+        }
+    }
+    let spec = PairSpec {
+        a: Cont::Fifo,
+        b: Cont::Fifo,
+    };
+    for round in 0..30u64 {
+        let a: MsQueue<u32> = MsQueue::new();
+        let b: MsQueue<u32> = MsQueue::new();
+        let rec: Recorder<PairOp> = Recorder::new();
+        let next_val = AtomicU32::new(1);
+        std::thread::scope(|sc| {
+            for t in 0..3u64 {
+                let (a, b, rec, next_val) = (&a, &b, &rec, &next_val);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x5A4B + round * 17 + t);
+                    for _ in 0..8 {
+                        match rng.below(6) {
+                            0 => {
+                                let v = next_val.fetch_add(1, Ordering::Relaxed);
+                                rec.record(|| {
+                                    a.enqueue(v);
+                                    PairOp::InsA(v)
+                                });
+                            }
+                            1 => {
+                                let v = next_val.fetch_add(1, Ordering::Relaxed);
+                                rec.record(|| {
+                                    b.enqueue(v);
+                                    PairOp::InsB(v)
+                                });
+                            }
+                            2 => {
+                                rec.record(|| PairOp::RemA(a.dequeue()));
+                            }
+                            3 => {
+                                rec.record(|| PairOp::RemB(b.dequeue()));
+                            }
+                            4 => {
+                                rec.record(|| PairOp::Swap(swap_result(swap(a, b))));
+                            }
+                            _ => {
+                                rec.record(|| PairOp::MoveAB(move_one(a, b) == MoveOutcome::Moved));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let h = rec.finish();
+        let verdict = check_linearizable(&spec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: swap history not linearizable: {h:?}"
+        );
+    }
+}
+
+#[test]
+fn recorded_broadcast_histories_are_linearizable() {
+    // move_to_all with two targets under the trio spec: an observer must
+    // never catch the element in a strict subset of the targets.
+    let spec = TrioSpec {
+        a: Cont::Fifo,
+        b: Cont::Fifo,
+        c: Cont::Fifo,
+    };
+    for round in 0..30u64 {
+        let src: MsQueue<u32> = MsQueue::new();
+        let d1: MsQueue<u32> = MsQueue::new();
+        let d2: MsQueue<u32> = MsQueue::new();
+        let rec: Recorder<TrioOp> = Recorder::new();
+        let next_val = AtomicU32::new(1);
+        std::thread::scope(|sc| {
+            for t in 0..3u64 {
+                let (src, d1, d2, rec, next_val) = (&src, &d1, &d2, &rec, &next_val);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xB40A + round * 13 + t);
+                    for _ in 0..8 {
+                        match rng.below(5) {
+                            0 => {
+                                let v = next_val.fetch_add(1, Ordering::Relaxed);
+                                rec.record(|| {
+                                    src.enqueue(v);
+                                    TrioOp::InsA(v)
+                                });
+                            }
+                            1 => {
+                                rec.record(|| TrioOp::RemA(src.dequeue()));
+                            }
+                            2 => {
+                                rec.record(|| TrioOp::RemB(d1.dequeue()));
+                            }
+                            3 => {
+                                rec.record(|| TrioOp::RemC(d2.dequeue()));
+                            }
+                            _ => {
+                                rec.record(|| {
+                                    TrioOp::Broadcast(
+                                        move_to_all(src, &[d1, d2]) == MoveOutcome::Moved,
+                                    )
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let h = rec.finish();
+        let verdict = check_linearizable(&spec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: broadcast history not linearizable: {h:?}"
         );
     }
 }

@@ -1,7 +1,7 @@
 //! The n-object move extension (paper §8): remove from one object, insert
 //! into n others, all atomically.
 
-use lockfree_compose::{move_to_all, MoveOutcome, MsQueue, OneSlot, TreiberStack};
+use lockfree_compose::{move_to_all, DynMoveTarget, MoveOutcome, MsQueue, OneSlot, TreiberStack};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
@@ -88,8 +88,10 @@ fn concurrent_broadcasts_deliver_everywhere_exactly_once() {
         let (src, d1, d2, moved) = (&src, &d1, &d2, &moved);
         for _ in 0..3 {
             sc.spawn(move || {
-                while move_to_all(src, &[d1 as &dyn Probe, d2 as &dyn Probe]) == MoveOutcome::Moved
-                {
+                // Heterogeneous targets (queue + stack) share one slice via
+                // the object-safe `DynMoveTarget` bridge.
+                let targets: [&dyn DynMoveTarget<u64>; 2] = [d1, d2];
+                while move_to_all(src, &targets) == MoveOutcome::Moved {
                     moved.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -104,42 +106,6 @@ fn concurrent_broadcasts_deliver_everywhere_exactly_once() {
     assert_eq!(got1, want, "every token exactly once in target 1");
     assert_eq!(got2, want, "every token exactly once in target 2");
     assert!(src.is_empty());
-}
-
-/// Object-safe bridge so heterogeneous targets can share one slice: a tiny
-/// adapter trait with a blanket impl over every `MoveTarget<u64>`.
-trait Probe: Sync {
-    fn insert_probe(
-        &self,
-        v: u64,
-        ctx: &mut dyn lockfree_compose::InsertCtx,
-    ) -> lockfree_compose::InsertOutcome;
-}
-
-impl<X: lockfree_compose::MoveTarget<u64> + Sync> Probe for X {
-    fn insert_probe(
-        &self,
-        v: u64,
-        ctx: &mut dyn lockfree_compose::InsertCtx,
-    ) -> lockfree_compose::InsertOutcome {
-        struct Fwd<'a>(&'a mut dyn lockfree_compose::InsertCtx);
-        impl lockfree_compose::InsertCtx for Fwd<'_> {
-            fn scas(&mut self, lp: lockfree_compose::LinPoint<'_>) -> lockfree_compose::ScasResult {
-                self.0.scas(lp)
-            }
-        }
-        self.insert_with(v, &mut Fwd(ctx))
-    }
-}
-
-impl lockfree_compose::MoveTarget<u64> for dyn Probe + '_ {
-    fn insert_with<C: lockfree_compose::InsertCtx>(
-        &self,
-        elem: u64,
-        ctx: &mut C,
-    ) -> lockfree_compose::InsertOutcome {
-        self.insert_probe(elem, ctx)
-    }
 }
 
 #[test]
