@@ -137,6 +137,7 @@ fn run_bench_capture(args: &[String]) {
     results.extend(overhead);
     results.extend(micro::dcas());
     results.extend(micro::multi());
+    results.extend(micro::traverse());
 
     let mut json = String::new();
     json.push_str(&format!(

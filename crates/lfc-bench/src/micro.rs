@@ -7,7 +7,9 @@ use crate::harness::{bench, bench_custom, Measurement};
 use lfc_core::{move_one, move_to_all, swap, MoveOutcome, SwapOutcome};
 use lfc_dcas::{DAtomic, DcasResult, DescHandle};
 use lfc_hazard::pin;
-use lfc_structures::{MsQueue, PlainMsQueue, PlainTreiberStack, TreiberStack};
+use lfc_structures::{
+    LfHashMap, MsQueue, OrderedSet, PlainMsQueue, PlainTreiberStack, TreiberStack,
+};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -201,6 +203,59 @@ pub fn multi() -> Vec<Measurement> {
             assert_eq!(swap(&a, &b), SwapOutcome::Swapped);
         }));
     }
+    out
+}
+
+/// Experiment TRAV (tracked since PR 3): traversal-bound read paths — the
+/// locate cost that dominates `find`-heavy workloads. Each iteration runs
+/// one hit *and* one miss lookup against keys at the far end of the
+/// traversal, so the whole chain is walked both times and the per-node
+/// protection cost (hazard publication vs. epoch entry) is what is being
+/// measured.
+pub fn traverse() -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    for n in [64usize, 1024] {
+        let s: OrderedSet<u64, u64> = OrderedSet::new();
+        // Even keys resident; the largest even key is a full-length hit and
+        // the adjacent odd key a full-length miss.
+        for k in 0..n as u64 {
+            s.insert(k * 2, k);
+        }
+        let hit = (n as u64 - 1) * 2;
+        let miss = hit + 1;
+        out.push(bench(&format!("traverse/list_contains_{n}"), || {
+            assert!(s.contains(black_box(&hit)));
+            assert!(!s.contains(black_box(&miss)));
+        }));
+    }
+
+    {
+        let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(64);
+        for k in 0..1024u64 {
+            m.insert(k * 2, k);
+        }
+        let (hit, miss) = (2046u64, 2047u64);
+        out.push(bench("traverse/hashmap_get", || {
+            assert!(m.get(black_box(&hit)).is_some());
+            assert!(m.get(black_box(&miss)).is_none());
+        }));
+    }
+
+    {
+        // Keyed insert+remove against a populated map: the locate phase of
+        // both operations traverses the resident bucket chain.
+        let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(64);
+        for k in 0..1024u64 {
+            m.insert(k * 2, k);
+        }
+        let key = 2049u64; // odd: never resident between iterations
+        out.push(bench("ops/keyed_insert_remove", || {
+            assert!(m.insert(black_box(key), 1));
+            assert_eq!(m.remove(black_box(&key)), Some(1));
+        }));
+    }
+
     out
 }
 

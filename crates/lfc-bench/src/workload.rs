@@ -4,7 +4,6 @@ use lfc_core::move_one;
 use lfc_runtime::BackoffCfg;
 use lfc_runtime::SmallRng;
 use lfc_structures::{lock_move, LockQueue, LockStack, MsQueue, TreiberStack};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -201,7 +200,6 @@ pub fn run_trial(cfg: &RunCfg, seed: u64) -> TrialResult {
     }
     let ops_per_thread = cfg.total_ops / cfg.threads.max(1);
     let barrier = Barrier::new(cfg.threads + 1);
-    let failed = AtomicBool::new(false);
     let mut work_ns_totals: Vec<u64> = Vec::with_capacity(cfg.threads);
 
     let wall = std::thread::scope(|sc| {
@@ -210,7 +208,6 @@ pub fn run_trial(cfg: &RunCfg, seed: u64) -> TrialResult {
             let a = &a;
             let b = &b;
             let barrier = &barrier;
-            let failed = &failed;
             handles.push(sc.spawn(move || {
                 let mut rng =
                     SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -235,9 +232,6 @@ pub fn run_trial(cfg: &RunCfg, seed: u64) -> TrialResult {
                         }
                     }
                     my_work += local_work(&mut rng, cfg.contention.work_ns());
-                }
-                if my_work == u64::MAX {
-                    failed.store(true, Ordering::Relaxed); // unreachable; keeps `failed` used
                 }
                 my_work
             }));

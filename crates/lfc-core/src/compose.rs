@@ -29,18 +29,21 @@
 //! [`move_keyed_to_unkeyed`] — and the public [`Composition`] builder for
 //! user-defined chains mixing keyed and unkeyed stages.
 //!
-//! # Hazard discipline for deep compositions
+//! # Hazard discipline: capture-time promotion (PR 3)
 //!
-//! Nested same-role operations share the fixed INS*/REM* hazard slots, so
-//! the *n*-th insert of a fan-out would overwrite the (*n*−1)-th insert's
-//! protections while the earlier capture still needs its word's allocation
-//! alive for the final commit. For compositions of more than two stages
-//! the engine therefore hands each captured entry's allocation off to a
-//! dedicated [`slot::ENTRY0`] slot at capture time — while the operation's
-//! own slot still protects it, so the protection is continuous — and
-//! releases them when the composition resolves. Two-stage compositions
-//! need no handoff (insert and remove roles are disjoint by construction)
-//! and pay nothing.
+//! Structure traversals are protected by an *operation epoch*
+//! ([`lfc_hazard::pin_op`]) rather than per-node hazards, and each nested
+//! stage's epoch ends when its operation returns — before the engine is
+//! done with the captured entries (`finish` runs after the outermost
+//! remove returns, and DCAS/CASN helpers validate their adopted
+//! protections against *hazards*, not epochs). The engine therefore
+//! **promotes** every captured entry's allocation from epoch protection to
+//! a dedicated [`slot::ENTRY0`] hazard slot at capture time — while the
+//! capturing operation's epoch still covers it, so the protection is
+//! continuous — and releases the slots when the composition resolves.
+//! This is also what keeps nested same-role stages from clobbering each
+//! other: every entry owns its own slot, so the *n*-th insert of a fan-out
+//! can never overwrite the (*n*−1)-th insert's protection.
 
 use crate::{
     InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint, MoveOutcome, MoveSource,
@@ -129,13 +132,15 @@ impl Engine {
             hp: lp.hp,
         };
         self.count = idx + 1;
-        if self.plan > 2 {
-            // Entry-protection handoff (module docs): the operation's own
-            // hazard still covers `hp` here, so publishing it in the
-            // engine-owned slot keeps the protection continuous across the
-            // nested stages that will reuse the operation's slots.
-            self.g.set(slot::ENTRY0 + idx, lp.hp);
-        }
+        // Capture-time promotion (module docs): the capturing operation's
+        // epoch (or, for header words, its borrow) still covers `hp` here,
+        // so publishing it in the engine-owned slot makes the protection
+        // continuous — and the hazard then outlives the nested operations'
+        // epochs, which end when they return, before the commit's
+        // descriptor teardown and `finish` run. `promote` (Release) is
+        // sufficient: scans sweep epochs before hazards, so a scan that
+        // sees the covering epoch exited has acquired this store.
+        self.g.promote(slot::ENTRY0 + idx, lp.hp);
         true
     }
 
@@ -182,12 +187,12 @@ impl Engine {
         }
     }
 
-    /// Release the engine-owned entry protections.
+    /// Release the engine-owned entry protections. The whole plan range is
+    /// cleared (not just `count`): a commit failure rewinds `count` while
+    /// deeper entries' slots may still hold their last promotion.
     fn finish(&mut self) {
-        if self.plan > 2 {
-            for i in 0..self.plan {
-                self.g.clear(slot::ENTRY0 + i);
-            }
+        for i in 0..self.plan {
+            self.g.clear(slot::ENTRY0 + i);
         }
     }
 }

@@ -106,6 +106,29 @@ impl DAtomic {
         self.read_slow(g)
     }
 
+    /// Traversal-grade `read`: the per-hop load of an epoch-protected walk
+    /// (`lfc-hazard::pin_op`). Like [`DAtomic::read`] it never returns a
+    /// descriptor — any in-flight operation found in the word is helped to
+    /// completion through the same hazard-disciplined slow path — but the
+    /// fast-path load is **Acquire**, not SeqCst.
+    ///
+    /// Acquire (audited): a hop pointer was published by the Release
+    /// linearization CAS that linked the node, and Acquire is exactly what
+    /// pairs with it; there is no hazard-publication Dekker to validate
+    /// (the epoch entered at `pin_op` protects the whole walk with its one
+    /// fence), and the *operation's* real-time ordering is anchored by that
+    /// same SC enter fence, not by per-hop loads. Interior hops only: reads
+    /// whose raw value becomes a linearization-point `old` (or feeds the
+    /// linearizability checker directly) stay on [`DAtomic::read`].
+    #[inline]
+    pub fn read_acquire(&self, g: &Guard) -> Word {
+        let w = self.0.load(Ordering::Acquire);
+        if word::is_raw(w) {
+            return w;
+        }
+        self.read_slow(g)
+    }
+
     #[cold]
     fn read_slow(&self, g: &Guard) -> Word {
         loop {

@@ -20,18 +20,47 @@
 //! * remove-side operation hazards: [`slot::REM0`]..[`slot::REM2`]
 //!   (insert and remove *must not share* hazard slots — paper requirement 2
 //!   discussion: shared hazard pointers would let a move's insert overwrite
-//!   its remove's protections)
+//!   its remove's protections. **Since PR 3 the in-tree structures protect
+//!   traversal with epochs instead and no longer publish these roles**;
+//!   they remain reserved for hazard-style move-ready objects — the
+//!   protocol tests build such objects — and the requirement-2 slot
+//!   disjointness now lives in the per-entry `ENTRY*` promotions)
 //! * the descriptor hazard set by `read` before helping: [`slot::DESC`]
 //! * the adopted protections of a helping DCAS (lines D2–D3):
 //!   [`slot::HELP1`], [`slot::HELP2`]
 //! * CASN helping protections (extension): [`slot::KCAS0`]..
 //!
-//! # Retire contract
+//! # Epoch-batched traversal protection (PR 3)
 //!
-//! `retire(p, f)` may be called once the allocation has been unlinked such
-//! that any thread that later finds a pointer to it through shared memory
-//! will *fail its validation step* (set slot, re-read source, compare). The
-//! DCAS protocol preserves this: descriptors are retired only after the
+//! Per-node hazard publication costs a store-load fence per pointer hop —
+//! three orders of magnitude more than the 0.37 ns quiet-word load it
+//! guards. Traversal therefore uses *epoch* protection (Brown's DEBRA /
+//! Fraser-style EBR): a thread enters a cache-padded per-thread epoch slot
+//! **once per operation** ([`pin_op`], one fence), walks any number of
+//! nodes with plain acquire loads, and publishes per-node hazards only at
+//! the handoff points the composition protocol requires — the captured
+//! linearization entries (`ENTRY*`, promoted at capture time by the
+//! engine), descriptors (`DESC`) and helper adoptions (`HELP*`/`KCAS*`),
+//! which keep their slots and orderings untouched.
+//!
+//! # Retire contract (unified domain)
+//!
+//! Both regimes retire into one domain. `retire(p, f)` may be called once
+//! the allocation has been unlinked such that
+//!
+//! * any traversal that *starts* (enters its epoch) after the retire cannot
+//!   reach the allocation through the live structure, and
+//! * any thread that later finds a stale pointer to it through shared
+//!   memory and wants to dereference it under a *hazard* will fail its
+//!   validation step (set slot, re-read source, compare).
+//!
+//! The record is tagged with the global epoch at retire time, and a scan
+//! frees it only when **both** conditions hold: the tag is older than every
+//! active reader's entry epoch (so no in-flight traversal can still hold a
+//! pre-unlink pointer), **and** no hazard slot protects the block (so a
+//! node pinned by an in-flight move/CASN — an `ENTRY*`/`HELP*` slot —
+//! survives even after all epochs quiesce). The DCAS protocol preserves the
+//! hazard half exactly as before: descriptors are retired only after the
 //! operation is decided and the initiating side's word has been swung, and
 //! every helper removes its own stale marked descriptor before clearing the
 //! hazard that protects it (see `lfc-dcas`).
@@ -70,16 +99,18 @@ pub mod slot {
     pub const KCAS0: usize = 9;
     /// Number of CASN helper slots.
     pub const KCAS_COUNT: usize = 7;
-    /// Base of the composition engine's per-entry protections. A k-stage
-    /// composition (k > 2) runs several same-role operations nested inside
-    /// one another, and the *n*-th insert's INS0–INS2 publications would
-    /// overwrite the (n−1)-th insert's (likewise nested removes and REM*);
-    /// the engine therefore hands each captured entry's allocation off to
-    /// its own ENTRY slot at capture time, keeping every entry word
-    /// protected until the commit resolves. Disjoint from the KCAS* range:
-    /// ENTRY slots belong to the *initiating* thread's composition, KCAS*
-    /// to the same thread's *helping* of foreign CASNs (a `read` inside a
-    /// nested operation can help a foreign CASN mid-composition).
+    /// Base of the composition engine's per-entry protections: at capture
+    /// time the engine *promotes* each captured entry's allocation from
+    /// the capturing operation's epoch into its own ENTRY slot
+    /// (unconditionally since PR 3 — the nested operations' epochs end
+    /// when they return, before the commit's descriptor teardown and
+    /// `finish` run), keeping every entry word protected until the
+    /// composition resolves. One slot per entry also keeps nested
+    /// same-role stages from clobbering each other's protections.
+    /// Disjoint from the KCAS* range: ENTRY slots belong to the
+    /// *initiating* thread's composition, KCAS* to the same thread's
+    /// *helping* of foreign CASNs (a `read` inside a nested operation can
+    /// help a foreign CASN mid-composition).
     pub const ENTRY0: usize = 16;
     /// Number of engine entry slots (one per possible CASN entry).
     pub const ENTRY_COUNT: usize = 6;
@@ -88,13 +119,14 @@ pub mod slot {
 /// Hazard slots per registered thread.
 pub const SLOTS_PER_THREAD: usize = 22;
 
-/// One thread's hazard slots, cache-line padded. Slots are among the
-/// hottest written words in the system (several stores per structure
-/// operation); before padding, neighbouring threads' banks shared lines in
-/// one flat array and every hazard publication invalidated other threads'
-/// cached banks. The alignment keeps each bank on its own aligned
-/// prefetch-pairs of lines (`22 × 8 = 176` bytes, padded to 256 by the
-/// alignment); the hot slots (INS*/REM*/DESC) all sit in the first pair.
+/// One thread's hazard slots, cache-line padded: before padding,
+/// neighbouring threads' banks shared lines in one flat array and every
+/// hazard publication invalidated other threads' cached banks. The
+/// alignment keeps each bank on its own aligned prefetch-pairs of lines
+/// (`22 × 8 = 176` bytes, padded to 256 by the alignment). Since PR 3 the
+/// hot writers are the `ENTRY*` promotions (every composed capture), the
+/// `DESC`/`HELP*`/`KCAS*` helper slots, and any hazard-style object's
+/// INS*/REM* roles.
 #[repr(align(128))]
 struct SlotBank {
     slots: [AtomicUsize; SLOTS_PER_THREAD],
@@ -106,6 +138,34 @@ static SLOTS: [SlotBank; MAX_THREADS] = [const {
     }
 }; MAX_THREADS];
 
+/// One thread's epoch state, cache-line padded: `epoch` is scanned by
+/// reclaiming threads, `nest` is owner-only (operations nest — a composed
+/// move runs an insert inside its remove — and only the outermost
+/// enter/exit touches the published epoch).
+#[repr(align(128))]
+struct EpochSlot {
+    /// 0 = quiescent; otherwise the global epoch this thread's outermost
+    /// in-flight operation entered at.
+    epoch: AtomicUsize,
+    /// Operation nesting depth. Owner-written only (Relaxed); shares the
+    /// bank's line because every writer of `nest` is about to touch `epoch`
+    /// anyway.
+    nest: AtomicUsize,
+}
+
+static EPOCHS: [EpochSlot; MAX_THREADS] = [const {
+    EpochSlot {
+        epoch: AtomicUsize::new(0),
+        nest: AtomicUsize::new(0),
+    }
+}; MAX_THREADS];
+
+/// The global epoch. Starts at 1 so a zero epoch slot always means
+/// "quiescent". Monotonically increasing; advanced by reclamation scans
+/// (and by [`advance_epoch`] in tests). Padded: read on every operation
+/// entry, written only on the cold scan path.
+static GLOBAL_EPOCH: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(1));
+
 /// Total allocations handed to [`retire`]. Padded: bumped on every retire
 /// by every thread; must not share a line with `RECLAIMED_TOTAL` (bumped in
 /// scans) or the orphan head.
@@ -113,10 +173,20 @@ static RETIRED_TOTAL: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::n
 /// Total retired allocations whose reclaimer has run. Padded as above.
 static RECLAIMED_TOTAL: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
 
+/// Tag of a retired record no scan has seen yet. Tagging happens on the
+/// *scan* side (after the scan's SC fence), not at retire time, so the hot
+/// retire path pays no fence and no shared-epoch cache line.
+const UNTAGGED: usize = usize::MAX;
+
 /// A retired allocation awaiting reclamation.
 struct Retired {
     ptr: *mut u8,
     reclaim: unsafe fn(*mut u8),
+    /// [`UNTAGGED`] until the first scan sees the record; then the global
+    /// epoch that scan read after its fence. A reader whose entry epoch is
+    /// *greater* than the tag provably entered after both the unlink and
+    /// the tagging scan's fence, and cannot hold a path to the block.
+    epoch: usize,
 }
 
 // Retired pointers are only dereferenced by their reclaimer; moving the
@@ -219,6 +289,7 @@ pub struct Guard {
 }
 
 /// Obtain the current thread's guard, registering the thread on first use.
+#[inline]
 pub fn pin() -> Guard {
     Guard { tid: current_tid() }
 }
@@ -246,6 +317,26 @@ impl Guard {
     #[inline]
     pub fn set(&self, idx: usize, addr: usize) {
         self.slot_ref(idx).store(addr, Ordering::SeqCst);
+    }
+
+    /// Publish `addr` in slot `idx` as a *promotion* from an existing
+    /// protection: the caller must already hold the allocation live — via
+    /// an active epoch that reached it, or a borrow — when the store
+    /// executes.
+    ///
+    /// Release (audited, relaxed from the `set` SeqCst): no Dekker
+    /// validation follows a promotion, so the store-load fence `set` pays
+    /// for is pure waste here. Safety needs only that a scan which could
+    /// free the block sees the slot: while the covering epoch is active the
+    /// epoch condition keeps the block regardless, and a scan that instead
+    /// observes the epoch's Release *exit* acquires it (scans sweep epochs
+    /// before hazards) — which makes this store, sequenced before the
+    /// exit, visible to the scan's hazard sweep. Borrow-covered
+    /// allocations (structure headers) outlive the slot's whole set/clear
+    /// window anyway.
+    #[inline]
+    pub fn promote(&self, idx: usize, addr: usize) {
+        self.slot_ref(idx).store(addr, Ordering::Release);
     }
 
     /// Clear slot `idx`.
@@ -285,6 +376,125 @@ impl Guard {
     }
 }
 
+/// An operation-scoped guard: a [`Guard`] plus an entered epoch.
+///
+/// Created by [`pin_op`] at the top of every structure operation. While it
+/// lives, every allocation that was reachable through the structures at (or
+/// after) the enter fence stays unreclaimed, so traversal dereferences
+/// plain loads without per-node hazard publication. Nested operations (a
+/// composed move runs its insert inside its remove) share the outermost
+/// entry epoch through a nesting counter, so only the outermost operation
+/// pays the fence.
+///
+/// Dropping the guard exits the epoch; protection then falls back to
+/// whatever hazard slots are still published (e.g. the composition engine's
+/// `ENTRY*` promotions, which outlive the nested operations' epochs).
+#[derive(Debug)]
+pub struct OpGuard {
+    g: Guard,
+    /// `!Send + !Sync`: the guard manipulates its *creating* thread's
+    /// epoch slot with owner-only (non-atomic-RMW) accesses; dropping it
+    /// from another thread would race the origin thread's own nesting
+    /// updates and could clear an epoch that is still protecting a walk.
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+impl std::ops::Deref for OpGuard {
+    type Target = Guard;
+    fn deref(&self) -> &Guard {
+        &self.g
+    }
+}
+
+/// Enter the current thread's epoch (outermost entry only pays the fence)
+/// and return the operation guard.
+#[inline]
+pub fn pin_op() -> OpGuard {
+    let g = pin();
+    let slot = &EPOCHS[g.tid as usize];
+    // `nest` is owner-only: Relaxed loads/stores, no RMW needed.
+    let n = slot.nest.load(Ordering::Relaxed);
+    slot.nest.store(n + 1, Ordering::Relaxed);
+    if n == 0 {
+        let mut e = GLOBAL_EPOCH.load(Ordering::Relaxed);
+        loop {
+            slot.epoch.store(e, Ordering::Relaxed);
+            // SeqCst fence (audited, required): THE once-per-operation
+            // fence. It makes the epoch publication visible to any scan
+            // whose own fence follows (Dekker, as for hazard slots), and —
+            // paired with a scan's fence that precedes it in the SC order
+            // — orders this thread's subsequent traversal loads after
+            // every unlink that fed that scan: that is exactly why a
+            // record tagged below our entry epoch can never be reached by
+            // this operation.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            // SeqCst (audited, required): the reader link of the freeing
+            // proof — a validated entry epoch greater than a record's tag
+            // places this load after the tagging scan's epoch read and the
+            // subsequent advance in the SC order, and therefore this
+            // thread's whole walk after that scan's fence.
+            let cur = GLOBAL_EPOCH.load(Ordering::SeqCst);
+            if cur == e {
+                break;
+            }
+            // A scan advanced the epoch between our load and publication;
+            // re-publish at the newer epoch so the scan cannot conclude we
+            // entered later than we did. Bounded: scans advance at most
+            // once each, and re-running the loop is the cold path.
+            e = cur;
+        }
+    }
+    OpGuard {
+        g,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for OpGuard {
+    #[inline]
+    fn drop(&mut self) {
+        let slot = &EPOCHS[self.g.tid as usize];
+        let n = slot.nest.load(Ordering::Relaxed) - 1;
+        slot.nest.store(n, Ordering::Relaxed);
+        if n == 0 {
+            // Release (audited): ends the epoch. Orders the operation's
+            // traversal loads — and, crucially, any hazard promotions made
+            // inside the epoch (`ENTRY*` capture handoffs) — before the
+            // clear: a scan that Acquire-reads the quiescent slot therefore
+            // sees every hazard published under this epoch, so protection
+            // hands off without a window. No store-load fence needed:
+            // seeing the clear late only delays reclamation.
+            slot.epoch.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// The current global epoch (diagnostics/tests).
+pub fn epoch_now() -> usize {
+    GLOBAL_EPOCH.load(Ordering::Relaxed)
+}
+
+/// Force one global-epoch advance (tests: simulate readers of later
+/// generations). Safe at any time — advancing faster only makes newer
+/// readers enter at higher epochs; the reclamation rule is driven by the
+/// minimum *entered* epoch, never by the global value alone.
+pub fn advance_epoch() -> usize {
+    GLOBAL_EPOCH.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// The smallest entry epoch among currently active readers, or `None` when
+/// every thread is quiescent (diagnostics/tests).
+pub fn min_active_epoch() -> Option<usize> {
+    std::sync::atomic::fence(Ordering::SeqCst);
+    let hw = registered_high_water();
+    EPOCHS
+        .iter()
+        .take(hw)
+        .map(|s| s.epoch.load(Ordering::SeqCst))
+        .filter(|&e| e != 0)
+        .min()
+}
+
 /// Hand an unlinked allocation to the domain for deferred reclamation.
 ///
 /// # Safety
@@ -296,14 +506,27 @@ impl Guard {
 ///   memory must fail its hazard validation.
 pub unsafe fn retire(ptr: *mut u8, reclaim: unsafe fn(*mut u8)) {
     RETIRED_TOTAL.fetch_add(1, Ordering::Relaxed);
+    // No fence and no epoch read here: the record enters the list
+    // UNTAGGED, and the first scan that sees it — whose own SC fence is
+    // ordered after this retire (same thread, or the orphan handoff's
+    // release/acquire) and hence after the caller's unlink — assigns the
+    // tag. Keeps the retire path at a Vec push.
     if thread_is_exiting() {
         // Thread-exit fallback: park the record on the orphan stack; the
         // next scan by any live thread adopts it.
-        orphans_push(vec![Retired { ptr, reclaim }]);
+        orphans_push(vec![Retired {
+            ptr,
+            reclaim,
+            epoch: UNTAGGED,
+        }]);
         return;
     }
     with_reclaim(|tr| {
-        tr.pending.push(Retired { ptr, reclaim });
+        tr.pending.push(Retired {
+            ptr,
+            reclaim,
+            epoch: UNTAGGED,
+        });
         if tr.pending.len() >= scan_threshold() {
             scan_list(&mut tr.pending);
         }
@@ -314,21 +537,71 @@ fn scan_threshold() -> usize {
     (2 * SLOTS_PER_THREAD * registered_high_water().max(1)).max(128)
 }
 
-/// Collect every currently protected address.
-fn collect_hazards() -> HashSet<usize> {
+/// A consistent snapshot of everything currently protecting retired memory:
+/// the hazard set plus the smallest entry epoch among active readers
+/// (`usize::MAX` when all threads are quiescent).
+struct Protection {
+    hazards: HashSet<usize>,
+    min_enter: usize,
+    /// Global epoch read after this scan's fence; the tag assigned to
+    /// records this scan sees untagged.
+    now: usize,
+}
+
+/// Collect every current protection — epochs first, hazards second.
+fn collect_protection() -> Protection {
     // SeqCst fence (audited, required): unlinking stores are AcqRel CASes
     // (`DAtomic::cas_word`), which do not participate in the SC total
     // order, so the slot loads below being SeqCst is not by itself enough
     // to order them after the unlink. The fence restores the Dekker: for
-    // any reader, either its validation load follows this fence in the SC
-    // order — then (C++17 atomics.order p6, write sequenced-before an SC
-    // fence that precedes an SC load) it observes the unlink and fails
-    // validation — or its SC slot store precedes the validation load and
-    // hence this fence in the SC order, and the slot loads below see the
-    // hazard. Cold path: one fence per scan, not per retire.
+    // any reader, either its validation load (or epoch enter fence) follows
+    // this fence in the SC order — then (C++17 atomics.order p6, write
+    // sequenced-before an SC fence that precedes an SC load) it observes
+    // the unlink and fails validation / cannot reach the block — or its SC
+    // slot store/fence precedes this fence in the SC order, and the loads
+    // below see the protection. Cold path: one fence per scan.
     std::sync::atomic::fence(Ordering::SeqCst);
     let hw = registered_high_water();
-    let mut set = HashSet::with_capacity(hw * 4);
+
+    // Epoch sweep BEFORE the hazard sweep. A reader that exits its epoch
+    // after promoting a protection into a hazard slot stores the hazard
+    // (SeqCst) before the epoch clear (Release); Acquire-reading the
+    // cleared slot here therefore synchronizes-with the exit, making the
+    // promoted hazard visible to the later hazard sweep — protection hands
+    // off with no window. (Sweeping hazards first would open one.)
+    // SeqCst (audited, required): this load and the reader-side validation
+    // load in `pin_op` are ordered by the global epoch's single
+    // modification order within the SC order; the freeing proof's chain —
+    // tag-read <s advance <s reader-validate — is what lets "entry epoch
+    // greater than the tag" imply "entered after the tagging scan's
+    // fence".
+    let cur = GLOBAL_EPOCH.load(Ordering::SeqCst);
+    let mut min_enter = usize::MAX;
+    let mut all_at_cur = true;
+    for slot in EPOCHS.iter().take(hw) {
+        // SeqCst (audited, required): the scanner's side of the Dekker
+        // with the reader's slot store + enter fence (a reader this load
+        // misses provably fenced after our fence above, i.e. entered after
+        // every unlink feeding this scan). Also ≥ Acquire, which pairs
+        // with the Release epoch clear (see above).
+        let e = slot.epoch.load(Ordering::SeqCst);
+        if e != 0 {
+            min_enter = min_enter.min(e);
+            if e != cur {
+                all_at_cur = false;
+            }
+        }
+    }
+    if all_at_cur {
+        // Every active reader has caught up with the current epoch (or no
+        // reader is active): advance, so future readers enter — and future
+        // scans tag — at a strictly newer generation. Failure just means
+        // another scan advanced first. SeqCst: the `advance` link of the
+        // proof chain above.
+        let _ = GLOBAL_EPOCH.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::Relaxed);
+    }
+
+    let mut hazards = HashSet::with_capacity(hw * 4);
     for bank in SLOTS.iter().take(hw) {
         for s in &bank.slots {
             // SeqCst (audited, required): the scanner's side of the Dekker
@@ -338,26 +611,48 @@ fn collect_hazards() -> HashSet<usize> {
             // has its hazard visible here.
             let v = s.load(Ordering::SeqCst);
             if v != 0 {
-                set.insert(v);
+                hazards.insert(v);
             }
         }
     }
-    set
+    Protection {
+        hazards,
+        min_enter,
+        now: cur,
+    }
 }
 
-/// Reclaim everything in `list` that no hazard protects; retain the rest.
+/// Reclaim everything in `list` that nothing protects; retain the rest.
+///
+/// A record is freed only when **both** regimes release it: its retire
+/// epoch predates every active reader's entry epoch (no in-flight traversal
+/// can still hold a pre-unlink path to it), and no hazard slot names it (an
+/// `ENTRY*`/`HELP*`/`DESC` pin from an in-flight composition keeps a block
+/// alive even after all epochs quiesce).
 fn scan_list(list: &mut Vec<Retired>) {
     // Adopt orphans so abandoned garbage cannot accumulate forever.
     orphans_adopt(list);
-    let hazards = collect_hazards();
+    let p = collect_protection();
     let pending = std::mem::take(list);
-    for r in pending {
-        if hazards.contains(&(r.ptr as usize)) {
-            list.push(r);
+    for mut r in pending {
+        let epoch_clear = if r.epoch == UNTAGGED {
+            // First scan to see this record. With no active reader it can
+            // go at once: an invisible (concurrently entering) reader
+            // fenced after this scan's fence, hence after the unlink that
+            // preceded the retire that fed us the record. With readers
+            // active, tag it with this scan's epoch and defer — a later
+            // scan frees it once every active reader entered past the tag.
+            r.epoch = p.now;
+            p.min_enter == usize::MAX
         } else {
+            r.epoch < p.min_enter
+        };
+        if epoch_clear && !p.hazards.contains(&(r.ptr as usize)) {
             RECLAIMED_TOTAL.fetch_add(1, Ordering::Relaxed);
             // Safety: unlinked per the retire contract and unprotected now.
             unsafe { (r.reclaim)(r.ptr) };
+        } else {
+            list.push(r);
         }
     }
 }

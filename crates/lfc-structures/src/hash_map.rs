@@ -6,12 +6,82 @@
 //! move-candidate properties verbatim (its linearization points *are* the
 //! bucket list's). Elements can therefore be moved atomically between a map
 //! and a list — or between two maps — with [`lfc_core::move_keyed`].
+//!
+//! Bucket selection is an FxHash-style mixer over a power-of-two bucket
+//! count (PR 3): one rotate-xor-multiply per key word plus a mask, instead
+//! of a keyed SipHash and a `%` division per operation.
 
 use crate::ordered_list::OrderedSet;
 use lfc_core::{
     InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, NormalCas, RemoveCtx, RemoveOutcome,
 };
 use std::hash::{Hash, Hasher};
+
+/// An FxHash-style word-at-a-time mixer (rustc-hash's algorithm, std-only
+/// re-implementation). `SipHash` (`DefaultHasher`) pays per-byte rounds and
+/// keyed initialization on **every** map operation; bucket selection needs
+/// dispersion, not DoS resistance, and this mixer is a single
+/// rotate-xor-multiply per word.
+struct FxHasher {
+    hash: usize,
+}
+
+/// 2^64 / φ, the multiplicative-hashing constant rustc-hash uses.
+const FX_SEED: usize = 0x51_7c_c1_b7_27_22_0a_95_u64 as usize;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: usize) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(std::mem::size_of::<usize>());
+        for chunk in &mut chunks {
+            self.add_to_hash(usize::from_ne_bytes(chunk.try_into().unwrap()));
+        }
+        let mut tail = 0usize;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | b as usize;
+        }
+        if !chunks.remainder().is_empty() {
+            self.add_to_hash(tail);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as usize);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as usize);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as usize);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n as usize);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash as u64
+    }
+}
 
 /// A move-ready lock-free hash map (fixed bucket count, unique keys).
 pub struct LfHashMap<K, T>
@@ -20,6 +90,9 @@ where
     T: Clone + Send + Sync + 'static,
 {
     buckets: Vec<OrderedSet<K, T>>,
+    /// `buckets.len() - 1`; the length is a power of two, so masking
+    /// replaces the `%` division in bucket selection.
+    mask: usize,
 }
 
 impl<K, T> LfHashMap<K, T>
@@ -32,17 +105,24 @@ where
         Self::with_buckets(64)
     }
 
-    /// Map with `n` buckets (rounded up to at least 1).
+    /// Map with at least `n` buckets: `n` is rounded up to the next power
+    /// of two (and to at least 1) so bucket selection is a mask, not a
+    /// division.
     pub fn with_buckets(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
         LfHashMap {
-            buckets: (0..n.max(1)).map(|_| OrderedSet::new()).collect(),
+            buckets: (0..n).map(|_| OrderedSet::new()).collect(),
+            mask: n - 1,
         }
     }
 
     fn bucket(&self, key: &K) -> &OrderedSet<K, T> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = FxHasher { hash: 0 };
         key.hash(&mut h);
-        &self.buckets[(h.finish() as usize) % self.buckets.len()]
+        // Fold the high bits down: Fx's dispersion is strongest in the
+        // upper bits (final multiply), while the mask keeps only low bits.
+        let folded = (h.finish() >> 32) as usize ^ h.finish() as usize;
+        &self.buckets[folded & self.mask]
     }
 
     /// Insert `val` under `key`; false if the key is present.
@@ -135,6 +215,43 @@ mod tests {
             assert_eq!(m.remove(&k), Some(k * k));
         }
         assert_eq!(m.count(), 250);
+    }
+
+    #[test]
+    fn with_buckets_rounds_up_to_power_of_two() {
+        for (req, want) in [
+            (0, 1),
+            (1, 1),
+            (2, 2),
+            (3, 4),
+            (48, 64),
+            (64, 64),
+            (65, 128),
+        ] {
+            let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(req);
+            assert_eq!(m.buckets.len(), want, "with_buckets({req})");
+            assert_eq!(m.mask, want - 1);
+        }
+    }
+
+    #[test]
+    fn fx_hash_disperses_sequential_keys() {
+        // Sequential u64 keys must not collapse onto a few buckets (the
+        // failure mode of a truncating or identity hash).
+        let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(64);
+        let mut used = std::collections::HashSet::new();
+        for k in 0..512u64 {
+            used.insert(m.bucket(&k) as *const _ as usize);
+        }
+        assert!(used.len() >= 48, "only {} of 64 buckets used", used.len());
+
+        // String keys exercise the byte-chunk `write` path.
+        let s: LfHashMap<String, u64> = LfHashMap::with_buckets(64);
+        let mut used = std::collections::HashSet::new();
+        for k in 0..512u64 {
+            used.insert(s.bucket(&format!("key-{k}")) as *const _ as usize);
+        }
+        assert!(used.len() >= 48, "only {} of 64 buckets used", used.len());
     }
 
     #[test]

@@ -33,3 +33,19 @@ pub use ordered_list::OrderedSet;
 pub use plain::{PlainMsQueue, PlainTreiberStack};
 pub use stamped::StampedStack;
 pub use treiber::TreiberStack;
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    /// Flush the reclamation domain until `cond` holds or a 30 s deadline
+    /// passes, then report whether it held. Drop-count assertions need
+    /// this since PR 3: a sibling test pinned in an epoch spanning our
+    /// retires defers reclamation to a later scan.
+    pub(crate) fn flush_until(cond: impl Fn() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !cond() && std::time::Instant::now() < deadline {
+            lfc_hazard::flush();
+            std::thread::yield_now();
+        }
+        cond()
+    }
+}

@@ -5,10 +5,14 @@
 //!   here, calls into the linearization context;
 //! * the enqueue can abort (lines Q15–Q17), freeing its node;
 //! * every read of `head`, `tail` or a node's `next` goes through the DCAS
-//!   `read` operation (lines Q6–Q10, Q23–Q28);
-//! * enqueue and dequeue use *disjoint* hazard-slot roles so a move's
-//!   insert cannot overwrite its remove's protections (the paper's fix for
-//!   move-candidate requirement 2).
+//!   `read` operation (lines Q6–Q10, Q23–Q28) — interior hops through the
+//!   fence-free `read_acquire` variant;
+//! * reclamation protection is epoch-batched (PR 3): one `pin_op` per
+//!   operation instead of per-node hazard publication; the composition
+//!   engine promotes each captured linearization entry into an `ENTRY*`
+//!   hazard slot at capture time, which also preserves the paper's
+//!   requirement that a move's insert cannot overwrite its remove's
+//!   protections (the entries own disjoint slots by construction).
 //!
 //! The queue is a verified move-candidate (paper Lemma 8): the linearization
 //! points of successful enqueue/dequeue are successful CASes on pointer
@@ -23,7 +27,7 @@ use lfc_core::{
     InsertCtx, InsertOutcome, LinPoint, MoveSource, MoveTarget, NormalCas, RemoveCtx,
     RemoveOutcome, ScasResult,
 };
-use lfc_hazard::{pin, slot};
+use lfc_hazard::{pin, pin_op};
 use lfc_runtime::{Backoff, BackoffCfg};
 use std::ptr::NonNull;
 
@@ -99,30 +103,23 @@ impl<T: Clone + Send + Sync + 'static> MsQueue<T> {
 
     /// Whether the queue was observed empty.
     pub fn is_empty(&self) -> bool {
-        let g = pin();
-        loop {
-            let lhead = self.head().read(&g);
-            g.set(slot::REM0, lhead);
-            if self.head().read(&g) != lhead {
-                continue;
-            }
-            let node = lhead as *mut Node<T>;
-            // Safety: lhead is hazard-protected and validated.
-            let lnext = unsafe { &(*node).next }.read(&g);
-            g.clear(slot::REM0);
-            return lnext == 0;
-        }
+        let g = pin_op();
+        let lhead = self.head().read(&g);
+        let node = lhead as *mut Node<T>;
+        // Safety: lhead was reachable through `head` inside this epoch.
+        let lnext = unsafe { &(*node).next }.read_acquire(&g);
+        lnext == 0
     }
 
     /// Racy O(n) node count; only meaningful on a quiescent queue (tests).
     pub fn count(&self) -> usize {
-        let g = pin();
+        let g = pin_op();
         let mut n = 0;
         let mut cur = self.head().read(&g);
         loop {
             let node = cur as *mut Node<T>;
             // Safety: only called on quiescent queues per the docs.
-            let next = unsafe { &(*node).next }.read(&g);
+            let next = unsafe { &(*node).next }.read_acquire(&g);
             if next == 0 {
                 return n;
             }
@@ -139,31 +136,30 @@ impl<T: Clone + Send + Sync + 'static> Default for MsQueue<T> {
 }
 
 impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for MsQueue<T> {
-    /// Algorithm 5, `enqueue` (lines Q1–Q20).
+    /// Algorithm 5, `enqueue` (lines Q1–Q20). Fence-free since PR 3: the
+    /// operation epoch replaces the Q7/Q9 hazard publications and the
+    /// Q10 validation re-read — a stale `ltail` simply fails the Q14 CAS.
     fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
-        let g = pin();
+        let g = pin_op();
         let node = alloc_node(Some(elem)); // Q2–Q4 (next = 0)
         let mut bo = Backoff::new(self.backoff);
         loop {
             let ltail = self.tail().read(&g); // Q6
-            g.set(slot::INS0, ltail); // Q7
-            if self.tail().read(&g) != ltail {
-                continue;
-            }
             let tail_node = ltail as *mut Node<T>;
-            // Safety: ltail is protected by INS0 and validated above.
+            // Safety: ltail was reachable through `tail` inside this epoch,
+            // so the allocation outlives the operation even if the node is
+            // dequeued concurrently.
             let next_word = unsafe { &(*tail_node).next };
-            let lnext = next_word.read(&g); // Q8
-            g.set(slot::INS1, lnext); // Q9
-            if self.tail().read(&g) != ltail {
-                continue; // Q10
-            }
+            let lnext = next_word.read_acquire(&g); // Q8
             if lnext != 0 {
                 // Q11–Q13: tail lags; help it forward.
                 self.tail().cas_word(ltail, lnext);
                 continue;
             }
-            // Q14: the linearization point.
+            // Q14: the linearization point. A `next` word is written once
+            // (0 → successor) in a node's lifetime and nodes cannot be
+            // recycled inside our epoch, so success proves `ltail` was
+            // still the last node — no Q10 re-validation needed.
             match ctx.scas(LinPoint {
                 word: next_word,
                 old: 0,
@@ -172,8 +168,6 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for MsQueue<T> {
             }) {
                 ScasResult::Abort => {
                     // Q15–Q17.
-                    g.clear(slot::INS0);
-                    g.clear(slot::INS1);
                     // Safety: never published.
                     unsafe { free_unpublished_node(node) };
                     return InsertOutcome::Rejected;
@@ -181,8 +175,6 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for MsQueue<T> {
                 ScasResult::Success => {
                     // Q18–Q20: cleanup phase — swing the tail.
                     self.tail().cas_word(ltail, node as usize);
-                    g.clear(slot::INS0);
-                    g.clear(slot::INS1);
                     return InsertOutcome::Inserted;
                 }
                 ScasResult::Fail => bo.fail(),
@@ -192,28 +184,24 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for MsQueue<T> {
 }
 
 impl<T: Clone + Send + Sync + 'static> MoveSource<T> for MsQueue<T> {
-    /// Algorithm 5, `dequeue` (lines Q21–Q36).
+    /// Algorithm 5, `dequeue` (lines Q21–Q36). Fence-free since PR 3: the
+    /// operation epoch replaces the Q24/Q27 hazard publications and the
+    /// Q28 validation re-read.
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin();
+        let g = pin_op();
         let mut bo = Backoff::new(self.backoff);
         loop {
             let lhead = self.head().read(&g); // Q23
-            g.set(slot::REM0, lhead); // Q24
-            if self.head().read(&g) != lhead {
-                continue;
-            }
             let ltail = self.tail().read(&g); // Q25
             let head_node = lhead as *mut Node<T>;
-            // Safety: lhead is protected by REM0 and validated above.
-            let lnext = unsafe { &(*head_node).next }.read(&g); // Q26
-            g.set(slot::REM1, lnext); // Q27
-            if self.head().read(&g) != lhead {
-                continue; // Q28
-            }
+            // Safety: lhead was reachable through `head` inside this epoch.
+            let lnext = unsafe { &(*head_node).next }.read_acquire(&g); // Q26
             if lnext == 0 {
-                // Q29: empty.
-                g.clear(slot::REM0);
-                g.clear(slot::REM1);
+                // Q29: empty. A `next` word is written once (0 → successor)
+                // and `head` only ever swings to a non-null successor, so
+                // reading 0 here proves `lhead` was still the head (and
+                // last node) at the Q26 read — the linearization point of
+                // the empty return.
                 return RemoveOutcome::Empty;
             }
             if lhead == ltail {
@@ -222,7 +210,9 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for MsQueue<T> {
                 continue;
             }
             // Q33: the element is accessible before the linearization point.
-            // Safety: lnext is protected by REM1; values are immutable.
+            // Safety: lnext's node is retired no earlier than `head` swings
+            // past it, which requires the (epoch-pinned) unlink of lhead
+            // first; values are immutable.
             let val = unsafe { clone_val(lnext as *mut Node<T>) };
             // Q34: the linearization point.
             let r = ctx.scas(
@@ -237,10 +227,9 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for MsQueue<T> {
             match r {
                 ScasResult::Success => {
                     // Q35–Q36: cleanup phase — retire the old dummy.
-                    g.clear(slot::REM0);
-                    g.clear(slot::REM1);
-                    // Safety: lhead is now unlinked; stale readers fail
-                    // hazard validation.
+                    // Safety: lhead is now unlinked; traversals entering
+                    // after this retire cannot reach it, and stale hazard
+                    // readers fail validation.
                     unsafe { retire_node(head_node) };
                     return RemoveOutcome::Removed(val);
                 }
@@ -248,8 +237,6 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for MsQueue<T> {
                 ScasResult::Abort => {
                     // Only reachable through a move whose insert was
                     // rejected; the queue itself is untouched.
-                    g.clear(slot::REM0);
-                    g.clear(slot::REM1);
                     return RemoveOutcome::Aborted;
                 }
             }
@@ -339,8 +326,8 @@ mod tests {
                 drop(q.dequeue()); // each dequeue drops one clone
             }
         }
-        lfc_hazard::flush();
         // 50 originals + 10 clones.
+        crate::test_util::flush_until(|| DROPS.load(Ordering::SeqCst) - before == 60);
         assert_eq!(DROPS.load(Ordering::SeqCst) - before, 60);
     }
 

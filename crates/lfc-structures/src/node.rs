@@ -2,11 +2,15 @@
 //!
 //! All nodes and structure headers are allocated from the paper's pooling
 //! memory manager (`lfc-alloc`) and given back exclusively through the
-//! hazard domain (`lfc-hazard::retire`), because DCAS helpers may write
-//! into a node's `next` word — or into a structure's `head`/`tail`/`top`
-//! header word — after the operation that published the descriptor has
-//! returned. Hazard-managed headers are the Rust-soundness addition
-//! documented in DESIGN.md §2.
+//! unified reclamation domain (`lfc-hazard::retire`), because DCAS helpers
+//! may write into a node's `next` word — or into a structure's
+//! `head`/`tail`/`top` header word — after the operation that published
+//! the descriptor has returned. Since PR 3 the structures protect their
+//! traversals with one operation epoch (`lfc_hazard::pin_op`) instead of
+//! per-node hazards; a retired block is freed only once it is out of reach
+//! of **both** regimes (older than every active epoch *and* absent from
+//! every hazard slot). Hazard-managed headers are the Rust-soundness
+//! addition documented in DESIGN.md §2.
 
 use lfc_dcas::{DAtomic, Word};
 use std::alloc::Layout;

@@ -15,7 +15,7 @@ use lfc_core::{
     InsertCtx, InsertOutcome, LinPoint, MoveSource, MoveTarget, NormalCas, RemoveCtx,
     RemoveOutcome, ScasResult,
 };
-use lfc_hazard::{pin, slot};
+use lfc_hazard::{pin, pin_op};
 use std::ptr::NonNull;
 
 /// A move-ready single-element slot (a bounded container of capacity 1).
@@ -64,21 +64,14 @@ impl<T: Clone + Send + Sync + 'static> OneSlot<T> {
 
     /// Clone the element without removing it, if present.
     pub fn peek(&self) -> Option<T> {
-        let g = pin();
-        loop {
-            let cur = self.word().read(&g);
-            if cur == 0 {
-                return None;
-            }
-            g.set(slot::REM0, cur);
-            if self.word().read(&g) != cur {
-                continue;
-            }
-            // Safety: protected + validated.
-            let v = unsafe { clone_val(cur as *mut Node<T>) };
-            g.clear(slot::REM0);
-            return Some(v);
+        let g = pin_op();
+        let cur = self.word().read(&g);
+        if cur == 0 {
+            return None;
         }
+        // Safety: cur was reachable through the slot inside this epoch;
+        // values are immutable.
+        Some(unsafe { clone_val(cur as *mut Node<T>) })
     }
 
     /// Whether the slot was observed occupied.
@@ -96,6 +89,7 @@ impl<T: Clone + Send + Sync + 'static> Default for OneSlot<T> {
 
 impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for OneSlot<T> {
     fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+        // No operation epoch: only the borrow-protected header word is read.
         let g = pin();
         let node = alloc_node(Some(elem));
         loop {
@@ -127,17 +121,13 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for OneSlot<T> {
 
 impl<T: Clone + Send + Sync + 'static> MoveSource<T> for OneSlot<T> {
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin();
+        let g = pin_op();
         loop {
             let cur = self.word().read(&g);
             if cur == 0 {
                 return RemoveOutcome::Empty;
             }
-            g.set(slot::REM0, cur);
-            if self.word().read(&g) != cur {
-                continue;
-            }
-            // Safety: protected + validated; element accessible before the
+            // Safety: cur epoch-protected; element accessible before the
             // linearization point (requirement 4).
             let val = unsafe { clone_val(cur as *mut Node<T>) };
             let r = ctx.scas(
@@ -149,7 +139,6 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for OneSlot<T> {
                 },
                 &val,
             );
-            g.clear(slot::REM0);
             match r {
                 ScasResult::Success => {
                     // Safety: unlinked.
@@ -207,7 +196,7 @@ mod tests {
             let s: OneSlot<D> = OneSlot::new();
             s.put(D);
         }
-        lfc_hazard::flush();
+        crate::test_util::flush_until(|| DROPS.load(Ordering::SeqCst) == before + 1);
         assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
     }
 

@@ -2,6 +2,13 @@
 //! move-ready — the "linked list" half of the paper's §1.1 motivating
 //! scenario (moving elements between a hash map and a list).
 //!
+//! Traversal is fence-free (PR 3): `find` runs under an operation epoch
+//! ([`lfc_hazard::pin_op`], one fence at entry) and hops nodes with plain
+//! acquire reads — no per-node hazard publication or validation re-read.
+//! Hazards reappear only at the composition handoff: a captured
+//! linearization entry's allocation is promoted into an `ENTRY*` slot by
+//! the engine at capture time.
+//!
 //! Deletion is two-phase, as in Harris’s list (the paper’s reference \[8\]): the
 //! *logical* delete marks the victim's `next` word (bit 2 of a raw protocol
 //! word, disjoint from the descriptor kind bits), and that marking CAS is
@@ -16,7 +23,7 @@ use lfc_core::{
     RemoveOutcome, ScasResult,
 };
 use lfc_dcas::DAtomic;
-use lfc_hazard::{pin, slot, Guard};
+use lfc_hazard::{pin, pin_op, Guard};
 use std::alloc::Layout;
 use std::cell::UnsafeCell;
 use std::ptr::NonNull;
@@ -129,19 +136,19 @@ where
         &unsafe { self.header.as_ref() }.word
     }
 
-    /// Locate `key` starting the hazard pair at `slot_base` (the caller's
-    /// prev/cur hazard roles), unlinking logically deleted nodes on the way
-    /// (Michael's `find`). On return, `cur` (if non-null) is protected by
-    /// `slot_base + 1` and the predecessor allocation by `slot_base`.
-    fn find(&self, key: &K, g: &Guard, slot_base: usize) -> Position<K, T> {
+    /// Locate `key`, unlinking logically deleted nodes on the way
+    /// (Michael's `find`, fence-free since PR 3). The caller's operation
+    /// epoch (`pin_op`) protects every node the walk can reach — any node
+    /// reachable after the epoch's enter fence is retired, if at all, at an
+    /// epoch no scan can free under us — so the hops are plain acquire
+    /// reads with no per-node hazard publication or validation re-read.
+    fn find(&self, key: &K, g: &Guard) -> Position<K, T> {
         'retry: loop {
             let mut prev_word: *const DAtomic = self.head();
             let mut prev_hp = self.header.as_ptr() as usize;
-            g.set(slot_base, prev_hp);
             loop {
-                // Safety: prev allocation protected (header: owned; node:
-                // hazard at slot_base).
-                let cur = unsafe { &*prev_word }.read(g);
+                // Safety: prev allocation is epoch-protected (header: owned).
+                let cur = unsafe { &*prev_word }.read_acquire(g);
                 if is_deleted(cur) {
                     // The predecessor was logically deleted under us (its
                     // own `next` carries the mark): its link is frozen and
@@ -150,31 +157,27 @@ where
                     continue 'retry;
                 }
                 if cur == 0 {
-                    g.clear(slot_base + 1);
                     return Position {
                         prev_word,
                         prev_hp,
                         cur: std::ptr::null_mut(),
                     };
                 }
-                g.set(slot_base + 1, cur);
-                // Safety: as above.
-                if unsafe { &*prev_word }.read(g) != cur {
-                    continue 'retry;
-                }
                 let cur_node = cur as *mut LNode<K, T>;
-                // Safety: cur protected + validated.
-                let next_w = unsafe { &(*cur_node).next }.read(g);
+                // Safety: cur was reachable through the live chain inside
+                // this epoch, so its allocation cannot be reclaimed yet
+                // even if it is unlinked concurrently.
+                let next_w = unsafe { &(*cur_node).next }.read_acquire(g);
                 if is_deleted(next_w) {
                     // Logically deleted: unlink (cleanup helping) and retry.
-                    // Safety: prev word protected as above.
+                    // A stale prev word makes the CAS fail harmlessly.
                     if unsafe { &*prev_word }.cas_word(cur, without_mark(next_w)) {
                         // Safety: we unlinked it.
                         unsafe { retire_lnode(cur_node) };
                     }
                     continue 'retry;
                 }
-                // Safety: cur protected.
+                // Safety: cur epoch-protected; keys are immutable.
                 if unsafe { &(*cur_node).key } >= key {
                     return Position {
                         prev_word,
@@ -183,7 +186,6 @@ where
                     };
                 }
                 // Advance: cur becomes the new predecessor.
-                g.set(slot_base, cur);
                 prev_word = unsafe { &(*cur_node).next };
                 prev_hp = cur;
             }
@@ -206,23 +208,20 @@ where
 
     /// Clone the element under `key`, if present.
     pub fn get(&self, key: &K) -> Option<T> {
-        let g = pin();
-        let pos = self.find(key, &g, slot::REM0);
-        let out = if pos.cur.is_null() {
+        let g = pin_op();
+        let pos = self.find(key, &g);
+        if pos.cur.is_null() {
             None
         } else {
-            // Safety: cur protected by find.
+            // Safety: cur epoch-protected by the op guard.
             let node = pos.cur;
             if unsafe { &(*node).key } == key {
-                // Safety: value immutable, node protected.
+                // Safety: value immutable, node epoch-protected.
                 unsafe { (*(*node).val.get()).clone() }
             } else {
                 None
             }
-        };
-        g.clear(slot::REM0);
-        g.clear(slot::REM1);
-        out
+        }
     }
 
     /// Whether `key` is present.
@@ -232,12 +231,12 @@ where
 
     /// Racy O(n) length (quiescent use only).
     pub fn count(&self) -> usize {
-        let g = pin();
+        let g = pin_op();
         let mut n = 0;
         let mut cur = self.head().read(&g);
         while cur != 0 {
             // Safety: quiescent per the docs.
-            let next = unsafe { &(*(cur as *mut LNode<K, T>)).next }.read(&g);
+            let next = unsafe { &(*(cur as *mut LNode<K, T>)).next }.read_acquire(&g);
             if !is_deleted(next) {
                 n += 1;
             }
@@ -263,18 +262,16 @@ where
     T: Clone + Send + Sync + 'static,
 {
     fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome {
-        let g = pin();
+        let g = pin_op();
         let node = alloc_lnode(key, elem);
         loop {
             // Safety: node is ours until published.
             let key_ref = unsafe { &(*node).key };
-            let pos = self.find(key_ref, &g, slot::INS0);
+            let pos = self.find(key_ref, &g);
             if !pos.cur.is_null() {
-                // Safety: cur protected by find.
+                // Safety: cur epoch-protected by find's op guard.
                 if unsafe { &(*pos.cur).key } == key_ref {
                     // Duplicate key: genuine rejection (fails a move).
-                    g.clear(slot::INS0);
-                    g.clear(slot::INS1);
                     // Safety: never published.
                     unsafe { free_unpublished_lnode(node) };
                     return InsertOutcome::Rejected;
@@ -283,22 +280,18 @@ where
             // Safety: unpublished node.
             unsafe { &(*node).next }.store_word(pos.cur as usize);
             let r = ctx.scas(LinPoint {
-                // Safety: prev allocation protected by find.
+                // Safety: prev allocation epoch-protected; a composed
+                // capture promotes `hp` into an ENTRY hazard slot before
+                // the commit so the protection outlives this epoch.
                 word: unsafe { &*pos.prev_word },
                 old: pos.cur as usize,
                 new: node as usize,
                 hp: pos.prev_hp,
             });
             match r {
-                ScasResult::Success => {
-                    g.clear(slot::INS0);
-                    g.clear(slot::INS1);
-                    return InsertOutcome::Inserted;
-                }
+                ScasResult::Success => return InsertOutcome::Inserted,
                 ScasResult::Fail => continue,
                 ScasResult::Abort => {
-                    g.clear(slot::INS0);
-                    g.clear(slot::INS1);
                     // Safety: never published.
                     unsafe { free_unpublished_lnode(node) };
                     return InsertOutcome::Rejected;
@@ -314,23 +307,21 @@ where
     T: Clone + Send + Sync + 'static,
 {
     fn remove_key_with<C: RemoveCtx<T>>(&self, key: &K, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin();
+        let g = pin_op();
         loop {
-            let pos = self.find(key, &g, slot::REM0);
+            let pos = self.find(key, &g);
             let cur = pos.cur;
-            // Safety: cur protected by find (when non-null).
+            // Safety: cur epoch-protected by find's op guard (non-null).
             if cur.is_null() || unsafe { &(*cur).key } != key {
-                g.clear(slot::REM0);
-                g.clear(slot::REM1);
                 return RemoveOutcome::Empty;
             }
-            // Safety: cur protected.
+            // Safety: cur epoch-protected.
             let next_w = unsafe { &(*cur).next }.read(&g);
             if is_deleted(next_w) {
                 continue; // someone else is removing it; re-find
             }
             // Element accessible before the linearization point (req. 4).
-            // Safety: value immutable; cur protected.
+            // Safety: value immutable; cur epoch-protected.
             let val = match unsafe { (*(*cur).val.get()).as_ref() } {
                 Some(v) => v.clone(),
                 None => unreachable!("list nodes always hold a value"),
@@ -338,7 +329,8 @@ where
             // The linearization point: the logical-delete marking CAS.
             let r = ctx.scas(
                 LinPoint {
-                    // Safety: cur protected.
+                    // Safety: cur epoch-protected; composed captures promote
+                    // `hp` into an ENTRY hazard slot before the commit.
                     word: unsafe { &(*cur).next },
                     old: next_w,
                     new: next_w | DEL_MARK,
@@ -350,21 +342,14 @@ where
                 ScasResult::Success => {
                     // Cleanup: try to unlink physically; a traversal will
                     // otherwise do it later.
-                    // Safety: prev allocation protected by find.
                     if unsafe { &*pos.prev_word }.cas_word(cur as usize, next_w) {
                         // Safety: unlinked.
                         unsafe { retire_lnode(cur) };
                     }
-                    g.clear(slot::REM0);
-                    g.clear(slot::REM1);
                     return RemoveOutcome::Removed(val);
                 }
                 ScasResult::Fail => continue,
-                ScasResult::Abort => {
-                    g.clear(slot::REM0);
-                    g.clear(slot::REM1);
-                    return RemoveOutcome::Aborted;
-                }
+                ScasResult::Abort => return RemoveOutcome::Aborted,
             }
         }
     }
@@ -501,7 +486,7 @@ mod tests {
                 s.insert(k, D);
             }
         }
-        lfc_hazard::flush();
+        crate::test_util::flush_until(|| DROPS.load(Ordering::SeqCst) - before == 30);
         assert_eq!(DROPS.load(Ordering::SeqCst) - before, 30);
     }
 }

@@ -3,15 +3,16 @@
 //! These are the *reference* implementations against which the `overhead`
 //! benchmark validates the paper's claim that "the operations originally
 //! supported by the data objects keep their performance behavior" once the
-//! objects are made move-ready: identical algorithms, hazard pointers and
-//! pooling memory manager, but plain CASes and plain loads — no `scas`
-//! indirection, no descriptor check on reads.
+//! objects are made move-ready: identical algorithms and memory management
+//! (epoch-batched protection via `pin_op`, same unified reclamation
+//! domain), but plain CASes and plain loads — no `scas` indirection, no
+//! descriptor check on reads.
 
 use crate::node::{
     alloc_node, alloc_pair_header, alloc_solo_header, clone_val, retire_node, retire_pair_header,
     retire_solo_header, Node, PairHeader, SoloHeader,
 };
-use lfc_hazard::{pin, slot};
+use lfc_hazard::pin_op;
 use std::ptr::NonNull;
 
 /// Plain Michael–Scott queue (baseline; cannot take part in moves).
@@ -42,27 +43,19 @@ impl<T: Clone + Send + Sync + 'static> PlainMsQueue<T> {
 
     /// Append at the tail.
     pub fn enqueue(&self, v: T) {
-        let g = pin();
+        let _g = pin_op();
         let node = alloc_node(Some(v));
         loop {
             let ltail = self.h().second.load_word();
-            g.set(slot::INS0, ltail);
-            if self.h().second.load_word() != ltail {
-                continue;
-            }
             let tail_node = ltail as *mut Node<T>;
-            // Safety: protected + validated.
+            // Safety: ltail was reachable through `tail` inside this epoch.
             let lnext = unsafe { &(*tail_node).next }.load_word();
-            if self.h().second.load_word() != ltail {
-                continue;
-            }
             if lnext != 0 {
                 self.h().second.cas_word(ltail, lnext);
                 continue;
             }
             if unsafe { &(*tail_node).next }.cas_word(0, node as usize) {
                 self.h().second.cas_word(ltail, node as usize);
-                g.clear(slot::INS0);
                 return;
             }
         }
@@ -70,35 +63,23 @@ impl<T: Clone + Send + Sync + 'static> PlainMsQueue<T> {
 
     /// Remove from the head.
     pub fn dequeue(&self) -> Option<T> {
-        let g = pin();
+        let _g = pin_op();
         loop {
             let lhead = self.h().first.load_word();
-            g.set(slot::REM0, lhead);
-            if self.h().first.load_word() != lhead {
-                continue;
-            }
             let ltail = self.h().second.load_word();
             let head_node = lhead as *mut Node<T>;
-            // Safety: protected + validated.
+            // Safety: lhead was reachable through `head` inside this epoch.
             let lnext = unsafe { &(*head_node).next }.load_word();
-            g.set(slot::REM1, lnext);
-            if self.h().first.load_word() != lhead {
-                continue;
-            }
             if lnext == 0 {
-                g.clear(slot::REM0);
-                g.clear(slot::REM1);
                 return None;
             }
             if lhead == ltail {
                 self.h().second.cas_word(ltail, lnext);
                 continue;
             }
-            // Safety: lnext protected by REM1.
+            // Safety: lnext retires no earlier than lhead (see MsQueue).
             let val = unsafe { clone_val(lnext as *mut Node<T>) };
             if self.h().first.cas_word(lhead, lnext) {
-                g.clear(slot::REM0);
-                g.clear(slot::REM1);
                 // Safety: unlinked.
                 unsafe { retire_node(head_node) };
                 return Some(val);
@@ -155,6 +136,7 @@ impl<T: Clone + Send + Sync + 'static> PlainTreiberStack<T> {
 
     /// Push.
     pub fn push(&self, v: T) {
+        // No shared dereference: the CAS on `top` needs no protection.
         let node = alloc_node(Some(v));
         loop {
             let ltop = self.top().load_word();
@@ -168,23 +150,18 @@ impl<T: Clone + Send + Sync + 'static> PlainTreiberStack<T> {
 
     /// Pop.
     pub fn pop(&self) -> Option<T> {
-        let g = pin();
+        let _g = pin_op();
         loop {
             let ltop = self.top().load_word();
             if ltop == 0 {
                 return None;
             }
-            g.set(slot::REM0, ltop);
-            if self.top().load_word() != ltop {
-                continue;
-            }
             let node = ltop as *mut Node<T>;
-            // Safety: protected + validated.
+            // Safety: ltop was reachable through `top` inside this epoch;
+            // no recycle inside the epoch means the CAS below cannot ABA.
             let val = unsafe { clone_val(node) };
             let lnext = unsafe { &(*node).next }.load_word();
-            let ok = self.top().cas_word(ltop, lnext);
-            g.clear(slot::REM0);
-            if ok {
+            if self.top().cas_word(ltop, lnext) {
                 // Safety: unlinked.
                 unsafe { retire_node(node) };
                 return Some(val);

@@ -20,7 +20,7 @@ use lfc_core::{
     InsertCtx, InsertOutcome, LinPoint, MoveSource, MoveTarget, NormalCas, RemoveCtx,
     RemoveOutcome, ScasResult,
 };
-use lfc_hazard::{pin, slot};
+use lfc_hazard::{pin, pin_op};
 use lfc_runtime::{Backoff, BackoffCfg};
 use std::ptr::NonNull;
 
@@ -103,13 +103,13 @@ impl<T: Clone + Send + Sync + 'static> StampedStack<T> {
 
     /// Racy O(n) count (quiescent use only).
     pub fn count(&self) -> usize {
-        let g = pin();
+        let g = pin_op();
         let mut n = 0;
         let mut cur = addr_of(self.top().read(&g));
         while cur != 0 {
             n += 1;
             // Safety: quiescent per the docs.
-            cur = unsafe { &(*(cur as *mut Node<T>)).next }.read(&g);
+            cur = unsafe { &(*(cur as *mut Node<T>)).next }.read_acquire(&g);
         }
         n
     }
@@ -123,6 +123,7 @@ impl<T: Clone + Send + Sync + 'static> Default for StampedStack<T> {
 
 impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for StampedStack<T> {
     fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+        // No operation epoch: push never dereferences a node (see Treiber).
         let g = pin();
         let node = alloc_node(Some(elem));
         let mut bo = Backoff::new(self.backoff);
@@ -151,7 +152,7 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for StampedStack<T> {
 
 impl<T: Clone + Send + Sync + 'static> MoveSource<T> for StampedStack<T> {
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin();
+        let g = pin_op();
         let mut bo = Backoff::new(self.backoff);
         loop {
             let lw = self.top().read(&g);
@@ -159,14 +160,10 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for StampedStack<T> {
             if ltop == 0 {
                 return RemoveOutcome::Empty;
             }
-            g.set(slot::REM0, ltop);
-            if self.top().read(&g) != lw {
-                continue;
-            }
             let node = ltop as *mut Node<T>;
-            // Safety: protected + validated.
+            // Safety: ltop was reachable through `top` inside this epoch.
             let val = unsafe { clone_val(node) };
-            let lnext = unsafe { &(*node).next }.read(&g);
+            let lnext = unsafe { &(*node).next }.read_acquire(&g);
             let r = ctx.scas(
                 LinPoint {
                     word: self.top(),
@@ -176,7 +173,6 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for StampedStack<T> {
                 },
                 &val,
             );
-            g.clear(slot::REM0);
             match r {
                 ScasResult::Success => {
                     // Safety: unlinked.

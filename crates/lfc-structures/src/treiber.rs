@@ -16,7 +16,7 @@ use lfc_core::{
     InsertCtx, InsertOutcome, LinPoint, MoveSource, MoveTarget, NormalCas, RemoveCtx,
     RemoveOutcome, ScasResult,
 };
-use lfc_hazard::{pin, slot};
+use lfc_hazard::{pin, pin_op};
 use lfc_runtime::{Backoff, BackoffCfg};
 use std::ptr::NonNull;
 
@@ -80,13 +80,13 @@ impl<T: Clone + Send + Sync + 'static> TreiberStack<T> {
 
     /// Racy O(n) count; only meaningful on a quiescent stack (tests).
     pub fn count(&self) -> usize {
-        let g = pin();
+        let g = pin_op();
         let mut n = 0;
         let mut cur = self.top().read(&g);
         while cur != 0 {
             n += 1;
             // Safety: quiescent per the docs.
-            cur = unsafe { &(*(cur as *mut Node<T>)).next }.read(&g);
+            cur = unsafe { &(*(cur as *mut Node<T>)).next }.read_acquire(&g);
         }
         n
     }
@@ -99,7 +99,9 @@ impl<T: Clone + Send + Sync + 'static> Default for TreiberStack<T> {
 }
 
 impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
-    /// Algorithm 6, `push` (lines S1–S12).
+    /// Algorithm 6, `push` (lines S1–S12). Needs no operation epoch: the
+    /// only shared word it touches is `top` (header allocation, kept alive
+    /// by the `&self` borrow); it never dereferences a node.
     fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
         let g = pin();
         let node = alloc_node(Some(elem)); // S2–S3
@@ -130,25 +132,24 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
 }
 
 impl<T: Clone + Send + Sync + 'static> MoveSource<T> for TreiberStack<T> {
-    /// Algorithm 6, `pop` (lines S13–S24).
+    /// Algorithm 6, `pop` (lines S13–S24). Fence-free since PR 3: the
+    /// operation epoch replaces the S18 hazard publication and the S19–S20
+    /// validation re-read — nodes cannot be recycled inside our epoch, so
+    /// the S22 CAS cannot ABA onto a reallocated block.
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin();
+        let g = pin_op();
         let mut bo = Backoff::new(self.backoff);
         loop {
             let ltop = self.top().read(&g); // S15
             if ltop == 0 {
                 return RemoveOutcome::Empty; // S16–S17
             }
-            g.set(slot::REM0, ltop); // S18
-            if self.top().read(&g) != ltop {
-                continue; // S19–S20
-            }
             let node = ltop as *mut Node<T>;
             // S21: the element is accessible before the linearization point.
-            // Safety: ltop is protected by REM0 and validated.
+            // Safety: ltop was reachable through `top` inside this epoch.
             let val = unsafe { clone_val(node) };
             // `ltop.next` is immutable while the node is linked.
-            let lnext = unsafe { &(*node).next }.read(&g);
+            let lnext = unsafe { &(*node).next }.read_acquire(&g);
             // S22: the linearization point.
             let r = ctx.scas(
                 LinPoint {
@@ -159,7 +160,6 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for TreiberStack<T> {
                 },
                 &val,
             );
-            g.clear(slot::REM0);
             match r {
                 ScasResult::Success => {
                     // S23–S24.
@@ -236,7 +236,7 @@ mod tests {
                 s.push(D);
             }
         }
-        lfc_hazard::flush();
+        crate::test_util::flush_until(|| DROPS.load(Ordering::SeqCst) - before == 20);
         assert_eq!(DROPS.load(Ordering::SeqCst) - before, 20);
     }
 

@@ -1,0 +1,125 @@
+//! Release-mode stress of the unified reclamation domain at the structure
+//! level (`--ignored stress`, run by CI's release stress step): readers
+//! traverse an [`OrderedSet`] and an [`LfHashMap`] through epoch-protected
+//! `find` walks while writers churn inserts/removes (retiring nodes), and
+//! a mover runs composed keyed moves between the two. Every value instance
+//! ever created must drop exactly once after the structures are gone and
+//! the domain is flushed.
+
+use lfc_core::{move_keyed, MoveOutcome};
+use lfc_structures::{LfHashMap, OrderedSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Drop-audited value: `CREATED` counts constructions *and* clones,
+/// `DROPPED` counts drops; the difference is live instances.
+struct Audited(u64);
+
+static CREATED: AtomicUsize = AtomicUsize::new(0);
+static DROPPED: AtomicUsize = AtomicUsize::new(0);
+
+impl Audited {
+    fn new(v: u64) -> Self {
+        CREATED.fetch_add(1, Ordering::SeqCst);
+        Audited(v)
+    }
+}
+
+impl Clone for Audited {
+    fn clone(&self) -> Self {
+        CREATED.fetch_add(1, Ordering::SeqCst);
+        Audited(self.0)
+    }
+}
+
+impl Drop for Audited {
+    fn drop(&mut self) {
+        DROPPED.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+#[ignore = "stress: run with --release -- --ignored stress"]
+fn stress_traverse_while_retiring_structures() {
+    const READERS: usize = 2;
+    const WRITER_OPS: u64 = 30_000;
+    const KEYSPACE: u64 = 128;
+
+    {
+        let set: OrderedSet<u64, Audited> = OrderedSet::new();
+        let map: LfHashMap<u64, Audited> = LfHashMap::with_buckets(16);
+        for k in 0..KEYSPACE / 2 {
+            set.insert(k, Audited::new(k));
+            map.insert(k + KEYSPACE, Audited::new(k));
+        }
+        let stop = AtomicUsize::new(0);
+
+        std::thread::scope(|sc| {
+            for r in 0..READERS {
+                let (set, map, stop) = (&set, &map, &stop);
+                sc.spawn(move || {
+                    let mut k = r as u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        // Fence-free traversals: each walks the live chain
+                        // under one operation epoch. A hit must observe the
+                        // value that was stored under the key.
+                        if let Some(v) = set.get(&(k % KEYSPACE)) {
+                            assert_eq!(v.0, k % KEYSPACE, "value under key must match");
+                        }
+                        let _ = map.contains(&(k % (2 * KEYSPACE)));
+                        k = k
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(r as u64 + 1);
+                    }
+                });
+            }
+            {
+                let (set, stop) = (&set, &stop);
+                sc.spawn(move || {
+                    for i in 0..WRITER_OPS {
+                        let k = (i * 7) % KEYSPACE;
+                        if i % 2 == 0 {
+                            let _ = set.insert(k, Audited::new(k));
+                        } else {
+                            let _ = set.remove(&k);
+                        }
+                    }
+                    stop.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            {
+                let (set, map, stop) = (&set, &map, &stop);
+                sc.spawn(move || {
+                    for i in 0..WRITER_OPS / 4 {
+                        // Composed keyed moves run ENTRY promotions and the
+                        // commit machinery against the same epochs.
+                        let k = (i * 3) % KEYSPACE;
+                        match move_keyed(set, &k, map) {
+                            MoveOutcome::Moved => {
+                                let _ = move_keyed(map, &k, set);
+                            }
+                            _ => {
+                                let _ = map.remove(&k);
+                            }
+                        }
+                    }
+                    stop.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+
+    // Structures are dropped; every created instance must drop after the
+    // domain quiesces (flush adopts orphans and sweeps the bins).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while CREATED.load(Ordering::SeqCst) != DROPPED.load(Ordering::SeqCst)
+        && std::time::Instant::now() < deadline
+    {
+        lfc_hazard::flush();
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        CREATED.load(Ordering::SeqCst),
+        DROPPED.load(Ordering::SeqCst),
+        "every Audited instance must drop exactly once after flush"
+    );
+}
