@@ -117,9 +117,15 @@ impl DAtomic {
     /// pairs with it; there is no hazard-publication Dekker to validate
     /// (the epoch entered at `pin_op` protects the whole walk with its one
     /// fence), and the *operation's* real-time ordering is anchored by that
-    /// same SC enter fence, not by per-hop loads. Interior hops only: reads
-    /// whose raw value becomes a linearization-point `old` (or feeds the
-    /// linearizability checker directly) stay on [`DAtomic::read`].
+    /// same SC enter fence, not by per-hop loads. A raw value read here
+    /// *may* feed a linearization-point `old` (keyed insert/remove do): the
+    /// linearization CAS re-validates it — a stale `old` fails the CAS and
+    /// the operation retries — so the CAS itself, an RMW in the word's
+    /// single modification order, is that path's real-time anchor. What
+    /// must stay on [`DAtomic::read`] are *unvalidated* reads: raw values
+    /// returned to callers as read-only results (or fed to the
+    /// linearizability checker directly), whose only real-time anchor is
+    /// the SC load itself.
     #[inline]
     pub fn read_acquire(&self, g: &Guard) -> Word {
         let w = self.0.load(Ordering::Acquire);

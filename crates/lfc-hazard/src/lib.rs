@@ -54,10 +54,18 @@
 //!   memory and wants to dereference it under a *hazard* will fail its
 //!   validation step (set slot, re-read source, compare).
 //!
-//! The record is tagged with the global epoch at retire time, and a scan
-//! frees it only when **both** conditions hold: the tag is older than every
-//! active reader's entry epoch (so no in-flight traversal can still hold a
-//! pre-unlink pointer), **and** no hazard slot protects the block (so a
+//! The record is tagged by the first scan that sees it — with the
+//! **maximum** of that scan's post-fence read of the global epoch and every
+//! entry epoch its reader sweep observed. The max closes a stale-read hole:
+//! an unrelated scan can advance the epoch just before the unlink with
+//! nothing ordering the tagging scan's read after that advance, so the read
+//! alone may come back stale; an active reader *above* it proves the
+//! staleness, and every reader that could still hold a pre-unlink path is
+//! visible to the sweep by the SC fence-fence rule (see
+//! `collect_protection`). A scan frees the record only when **both**
+//! conditions hold: the tag is older than every active reader's entry epoch
+//! (so no in-flight traversal can still hold a pre-unlink pointer), **and**
+//! no hazard slot protects the block (so a
 //! node pinned by an in-flight move/CASN — an `ENTRY*`/`HELP*` slot —
 //! survives even after all epochs quiesce). The DCAS protocol preserves the
 //! hazard half exactly as before: descriptors are retired only after the
@@ -182,10 +190,13 @@ const UNTAGGED: usize = usize::MAX;
 struct Retired {
     ptr: *mut u8,
     reclaim: unsafe fn(*mut u8),
-    /// [`UNTAGGED`] until the first scan sees the record; then the global
-    /// epoch that scan read after its fence. A reader whose entry epoch is
-    /// *greater* than the tag provably entered after both the unlink and
-    /// the tagging scan's fence, and cannot hold a path to the block.
+    /// [`UNTAGGED`] until the first scan sees the record; then the max of
+    /// the global epoch that scan read after its fence and every entry
+    /// epoch its reader sweep observed. A reader whose entry epoch is
+    /// *greater* than the tag provably fenced after the tagging scan's
+    /// fence (had it fenced before, the sweep would have seen its epoch
+    /// and the tag would dominate it), therefore after the unlink, and
+    /// cannot hold a path to the block.
     epoch: usize,
 }
 
@@ -420,19 +431,33 @@ pub fn pin_op() -> OpGuard {
         loop {
             slot.epoch.store(e, Ordering::Relaxed);
             // SeqCst fence (audited, required): THE once-per-operation
-            // fence. It makes the epoch publication visible to any scan
-            // whose own fence follows (Dekker, as for hazard slots), and —
-            // paired with a scan's fence that precedes it in the SC order
-            // — orders this thread's subsequent traversal loads after
-            // every unlink that fed that scan: that is exactly why a
-            // record tagged below our entry epoch can never be reached by
-            // this operation.
+            // fence, and the reader's entire safety obligation. The epoch
+            // store above is sequenced before it, so for any scan: either
+            // this fence precedes the scan's fence in the SC order — then
+            // by the SC fence-fence rule the scan's reader sweep observes
+            // our published epoch (or a later value of the slot), and the
+            // tag the scan assigns to concurrently retired records takes
+            // the max over it — or the scan's fence precedes ours, and
+            // this thread's traversal loads (all sequenced after this
+            // fence) observe every unlink that fed that scan, so the
+            // operation cannot reach the scan's retired blocks at all.
+            // Either way, a record whose tag is *below* our entry epoch
+            // is unreachable by this operation.
             std::sync::atomic::fence(Ordering::SeqCst);
-            // SeqCst (audited, required): the reader link of the freeing
-            // proof — a validated entry epoch greater than a record's tag
-            // places this load after the tagging scan's epoch read and the
-            // subsequent advance in the SC order, and therefore this
-            // thread's whole walk after that scan's fence.
+            // SeqCst (audited, required): re-reads the global epoch after
+            // the fence so the published epoch is never left behind an
+            // advance performed by a scan that fenced before us. This is
+            // precision/liveness, not the freeing proof's safety link —
+            // a reader-side validation *cannot* carry that proof, because
+            // an unrelated scan's advance need not be visible to a later
+            // tagging scan's epoch read (no happens-before reaches it;
+            // stale reads are allowed by the model and by
+            // non-multi-copy-atomic hardware). That hole is closed on the
+            // scan side instead: the tag takes the max over every epoch
+            // the sweep observes (see `collect_protection`). Publishing a
+            // stale epoch here would only make scans defer frees longer
+            // and stall the gated advance, which compares active slots
+            // against the current epoch.
             let cur = GLOBAL_EPOCH.load(Ordering::SeqCst);
             if cur == e {
                 break;
@@ -543,9 +568,11 @@ fn scan_threshold() -> usize {
 struct Protection {
     hazards: HashSet<usize>,
     min_enter: usize,
-    /// Global epoch read after this scan's fence; the tag assigned to
-    /// records this scan sees untagged.
-    now: usize,
+    /// The tag assigned to records this scan sees untagged: the max of the
+    /// global epoch read after this scan's fence and every entry epoch the
+    /// reader sweep observed. See `collect_protection` for why the sweep
+    /// must participate in the max.
+    tag: usize,
 }
 
 /// Collect every current protection — epochs first, hazards second.
@@ -577,6 +604,23 @@ fn collect_protection() -> Protection {
     // fence".
     let cur = GLOBAL_EPOCH.load(Ordering::SeqCst);
     let mut min_enter = usize::MAX;
+    // The tag for untagged records must dominate the entry epoch of every
+    // reader that might still hold a pre-unlink path to them. `cur` alone
+    // is NOT enough: an *unrelated* scan may advance the epoch E -> E+1
+    // just before the unlink, and a reader may enter and validate E+1
+    // also before the unlink — while nothing orders our load above after
+    // that advance (no happens-before edge reaches us; an SC load may
+    // still precede the SC advance in the total order, a stale read the
+    // model permits and non-multi-copy-atomic hardware exhibits). Tagging
+    // the record E would let a later scan see min_enter = E+1 > tag and
+    // free the block under that reader — a use-after-free. Taking the max
+    // over every epoch the sweep observes closes the hole: a reader that
+    // can still reach the block has its final enter fence *before* our
+    // fence in the SC order (otherwise its traversal loads, all after its
+    // fence, would observe the unlink that fed this scan), so the SC
+    // fence-fence rule makes its validated entry epoch — stored before
+    // that fence — visible to the sweep below, and the tag dominates it.
+    let mut tag = cur;
     let mut all_at_cur = true;
     for slot in EPOCHS.iter().take(hw) {
         // SeqCst (audited, required): the scanner's side of the Dekker
@@ -587,6 +631,7 @@ fn collect_protection() -> Protection {
         let e = slot.epoch.load(Ordering::SeqCst);
         if e != 0 {
             min_enter = min_enter.min(e);
+            tag = tag.max(e);
             if e != cur {
                 all_at_cur = false;
             }
@@ -618,7 +663,7 @@ fn collect_protection() -> Protection {
     Protection {
         hazards,
         min_enter,
-        now: cur,
+        tag,
     }
 }
 
@@ -640,9 +685,12 @@ fn scan_list(list: &mut Vec<Retired>) {
             // go at once: an invisible (concurrently entering) reader
             // fenced after this scan's fence, hence after the unlink that
             // preceded the retire that fed us the record. With readers
-            // active, tag it with this scan's epoch and defer — a later
-            // scan frees it once every active reader entered past the tag.
-            r.epoch = p.now;
+            // active, tag it — with the max of this scan's epoch read and
+            // every reader epoch the sweep saw, so the tag dominates any
+            // reader that could still reach the block — and defer; a
+            // later scan frees it once every active reader entered past
+            // the tag.
+            r.epoch = p.tag;
             p.min_enter == usize::MAX
         } else {
             r.epoch < p.min_enter

@@ -1,0 +1,156 @@
+//! Cross-thread interleaving tests of the epoch layer's novel orderings:
+//! the `pin_op` publish/validate Dekker against the scan fence, scan-time
+//! tagging (including the stale-`now` shape — an unrelated scan advancing
+//! the epoch around an unlink), and the epoch-exit → promoted-hazard
+//! handoff.
+//!
+//! Under plain `cargo test` these are small timing races; in CI's
+//! model-smoke job they run under **multi-threaded Miri** with its
+//! weak-memory emulation and `-Zmiri-many-seeds`, which explores distinct
+//! schedules per seed — the closest available substitute for a loom model
+//! (the dev mirror has no `loom`; see the deterministic interleaving tests
+//! standing in for loom in `lfc-dcas`). Miri flags any use-after-free a
+//! bad interleaving produces, so the assertions here only need to force
+//! the dereferences.
+
+use lfc_hazard::{advance_epoch, flush, pin, pin_op, retire, slot, stats};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+const ITERS: usize = if cfg!(miri) { 4 } else { 300 };
+
+static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe fn reclaim_u64(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut u64) });
+    DROPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Drain until every allocation this test retired has been reclaimed (a
+/// concurrent sibling test may adopt orphans into its own pending list, so
+/// reclamation is eventual, not immediate).
+fn drain_to(target: usize) {
+    while DROPS.load(Ordering::Relaxed) < target {
+        flush();
+        std::thread::yield_now();
+    }
+}
+
+/// A reader traverses (epoch-protected acquire loads, dereference) while an
+/// unlinker swings the pointer out and retires it, and a third thread runs
+/// unrelated scans/advances — the interleaving family of the stale-tag
+/// scenario: the advance can land between the reader's epoch validation and
+/// the unlink, so the tagging scan's `now` read may be stale and only the
+/// sweep max keeps the record deferred under the reader.
+#[test]
+fn traversal_races_unlink_retire_and_foreign_advance() {
+    static PTR: AtomicPtr<u64> = AtomicPtr::new(std::ptr::null_mut());
+    let mut retired = 0usize;
+    for _ in 0..ITERS {
+        PTR.store(Box::into_raw(Box::new(0xA11CEu64)), Ordering::Release);
+        retired += 1;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..2 {
+                    let _op = pin_op();
+                    let p = PTR.load(Ordering::Acquire);
+                    if !p.is_null() {
+                        // Must stay valid for the whole epoch even though
+                        // the unlink + retire + scan can all complete
+                        // concurrently. A premature free is a Miri error.
+                        assert_eq!(unsafe { *p }, 0xA11CE);
+                    }
+                }
+            });
+            s.spawn(|| {
+                // Unrelated scan + forced advance: moves the global epoch
+                // without any happens-before edge to the unlinker's scan.
+                advance_epoch();
+                flush();
+            });
+            s.spawn(|| {
+                let p = PTR.swap(std::ptr::null_mut(), Ordering::AcqRel);
+                unsafe { retire(p as *mut u8, reclaim_u64) };
+                flush();
+                flush();
+            });
+        });
+    }
+    drain_to(retired);
+}
+
+/// A capture-style promotion handed off across the epoch exit while another
+/// thread unlinks, retires, scans, and forces epoch advances: the promoted
+/// ENTRY hazard alone must keep the block alive after the epoch ends (the
+/// Release-exit / epochs-before-hazards sweep pairing).
+#[test]
+fn promotion_handoff_races_scans() {
+    static PTR: AtomicPtr<u64> = AtomicPtr::new(std::ptr::null_mut());
+    static PROMOTED_DROPS: AtomicUsize = AtomicUsize::new(0);
+    unsafe fn reclaim_promoted(p: *mut u8) {
+        drop(unsafe { Box::from_raw(p as *mut u64) });
+        PROMOTED_DROPS.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut retired = 0usize;
+    for _ in 0..ITERS {
+        PTR.store(Box::into_raw(Box::new(0xBEEu64)), Ordering::Release);
+        retired += 1;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let g = pin();
+                let captured = {
+                    let op = pin_op();
+                    let p = PTR.load(Ordering::Acquire);
+                    if p.is_null() {
+                        None
+                    } else {
+                        // Reached under the epoch: promotion is legal.
+                        op.promote(slot::ENTRY0, p as usize);
+                        Some(p)
+                    }
+                };
+                // Epoch exited; only the ENTRY slot protects the block now.
+                if let Some(p) = captured {
+                    assert_eq!(unsafe { *p }, 0xBEE);
+                    g.clear(slot::ENTRY0);
+                }
+            });
+            s.spawn(|| {
+                let p = PTR.swap(std::ptr::null_mut(), Ordering::AcqRel);
+                unsafe { retire(p as *mut u8, reclaim_promoted) };
+                flush();
+                advance_epoch();
+                flush();
+            });
+        });
+    }
+    while PROMOTED_DROPS.load(Ordering::Relaxed) < retired {
+        flush();
+        std::thread::yield_now();
+    }
+}
+
+/// Concurrent `pin_op` entries race the gated advance in scans: every
+/// published entry epoch must be visible to some scan before its records
+/// free, and the domain must stay consistent (retired >= reclaimed) under
+/// the churn. Exercises the re-publish loop (a scan advancing between a
+/// reader's epoch load and its fence forces the validate to retry).
+#[test]
+fn concurrent_entries_race_the_gated_advance() {
+    let (r0, c0) = stats();
+    assert!(c0 <= r0);
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                for _ in 0..ITERS {
+                    let _op = pin_op();
+                    flush(); // scan (and maybe advance) inside an epoch
+                }
+            });
+        }
+    });
+    let (r1, c1) = stats();
+    assert!(
+        c1 <= r1,
+        "reclaimed ({c1}) must never exceed retired ({r1})"
+    );
+}

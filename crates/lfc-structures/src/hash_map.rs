@@ -43,11 +43,17 @@ impl Hasher for FxHasher {
         for chunk in &mut chunks {
             self.add_to_hash(usize::from_ne_bytes(chunk.try_into().unwrap()));
         }
-        let mut tail = 0usize;
-        for &b in chunks.remainder() {
-            tail = (tail << 8) | b as usize;
-        }
-        if !chunks.remainder().is_empty() {
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            // Seed the fold with the remainder length so partial chunks
+            // that differ only by leading zero bytes (e.g. "a" vs "\0a")
+            // hash differently — a plain byte fold collapses them into a
+            // deterministic collision family. len < word size, so the
+            // shifted fold cannot overflow.
+            let mut tail = rem.len();
+            for &b in rem {
+                tail = (tail << 8) | b as usize;
+            }
             self.add_to_hash(tail);
         }
     }
@@ -84,6 +90,18 @@ impl Hasher for FxHasher {
 }
 
 /// A move-ready lock-free hash map (fixed bucket count, unique keys).
+///
+/// # Hashing assumes non-adversarial keys
+///
+/// Bucket selection uses an unkeyed FxHash-style mixer (PR 3), not the
+/// randomly keyed SipHash of `std`'s `HashMap`. It disperses well and is
+/// far cheaper per operation, but it is **not HashDoS-resistant**: the
+/// hash of every key is predictable, so an attacker who controls the keys
+/// can craft arbitrarily many that land in one bucket, degrading every
+/// operation on them to an O(n) traversal of a single bucket's list —
+/// and focusing all contention on that bucket. Use this map with trusted
+/// or internally generated keys; do not feed it attacker-chosen keys
+/// (e.g. from network input) without an upstream defense.
 pub struct LfHashMap<K, T>
 where
     K: Hash + Ord + Clone + Send + Sync + 'static,
@@ -188,6 +206,28 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn leading_zero_bytes_do_not_collide() {
+        // A plain byte fold of the final partial chunk would hash "a",
+        // "\0a", "\0\0a", ... identically (leading zeros vanish), pinning
+        // the whole family to one bucket; the length-seeded fold keeps
+        // them distinct.
+        let hash = |s: &str| {
+            let mut h = FxHasher { hash: 0 };
+            s.hash(&mut h);
+            h.finish()
+        };
+        let family: Vec<u64> = ["a", "\0a", "\0\0a", "\0\0\0a"]
+            .iter()
+            .map(|s| hash(s))
+            .collect();
+        for i in 0..family.len() {
+            for j in i + 1..family.len() {
+                assert_ne!(family[i], family[j], "keys {i} and {j} collide");
+            }
+        }
+    }
 
     #[test]
     fn insert_get_remove() {
