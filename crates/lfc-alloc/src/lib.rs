@@ -235,6 +235,21 @@ pub fn alloc_block(layout: Layout) -> NonNull<u8> {
 /// be used afterwards.
 pub unsafe fn free_block(ptr: *mut u8, layout: Layout) {
     FREED.fetch_add(1, Ordering::Relaxed);
+    #[cfg(lfc_model)]
+    {
+        // Inside a model execution the block is *quarantined* instead of
+        // freed: kept mapped (and out of the recycling pool) until the
+        // execution ends, so a stale access is defined behaviour the
+        // model's shadow memory detects and reports as a use-after-free
+        // with a replayable schedule, rather than real UB.
+        let l = class_for(layout).map(class_layout).unwrap_or(layout);
+        // Safety: every pooled block was obtained from `std::alloc` with
+        // its class layout (oversized ones with `layout` itself), which is
+        // exactly what we hand the quarantine for the final release.
+        if unsafe { lfc_model::rt::quarantine_block(ptr, l.size(), l.align()) } {
+            return;
+        }
+    }
     if thread_is_exiting() {
         // Thread-exit fallback: every pooled block originally came from the
         // system allocator with its class layout, so direct deallocation is

@@ -127,7 +127,8 @@ fn run_bench_capture(args: &[String]) {
         i += 1;
     }
 
-    eprintln!("capturing hot-path micro-benchmarks ({label})...");
+    let seed = lfc_bench::base_seed();
+    eprintln!("capturing hot-path micro-benchmarks ({label}, seed {seed:#x})...");
     let mut results = Vec::new();
     results.push(micro::move_uncontended());
     results.push(micro::move_contended());
@@ -141,7 +142,7 @@ fn run_bench_capture(args: &[String]) {
 
     let mut json = String::new();
     json.push_str(&format!(
-        "{{\n  \"label\": \"{}\",\n  \"results\": [\n",
+        "{{\n  \"label\": \"{}\",\n  \"seed\": {seed},\n  \"results\": [\n",
         lfc_bench::harness::json_escape(&label)
     ));
     for (i, m) in results.iter().enumerate() {

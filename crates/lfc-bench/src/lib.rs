@@ -17,4 +17,6 @@ pub mod micro;
 pub mod stats;
 pub mod workload;
 
-pub use workload::{run_config, run_trial, Contention, Impl, Mix, Pair, RunCfg, TrialResult};
+pub use workload::{
+    base_seed, run_config, run_trial, Contention, Impl, Mix, Pair, RunCfg, TrialResult,
+};

@@ -8,9 +8,9 @@
 //! before it can observe a raw value.
 
 use crate::dcas;
+use crate::sync::{AtomicUsize, Ordering};
 use crate::word::{self, Word};
 use lfc_hazard::{slot, Guard};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A machine word that may transiently hold an operation descriptor.
 ///

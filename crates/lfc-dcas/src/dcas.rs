@@ -29,13 +29,13 @@
 
 use crate::atomic::DAtomic;
 use crate::kcas::{CasnEntry, CasnResult};
+use crate::sync::{AtomicUsize, Ordering};
 use crate::word::{self, Word};
 use lfc_hazard::{slot, Guard};
 use lfc_runtime::solo;
 use std::alloc::Layout;
 use std::cell::Cell;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// `res`: operation not yet decided.
 const RES_UNDECIDED: usize = 0;

@@ -39,12 +39,12 @@
 //!   once the RDCSS descriptor itself is protected and validated.
 
 use crate::atomic::DAtomic;
+use crate::sync::{AtomicUsize, Ordering};
 use crate::word::{self, Word};
 use lfc_hazard::{slot, Guard};
 use std::alloc::Layout;
 use std::cell::Cell;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Maximum entries in one CASN (1 remove + up to 5 insert targets). Bounded
 /// by the per-thread `KCAS*` hazard slots.

@@ -18,6 +18,8 @@ pub mod dcas;
 pub mod engine;
 pub mod kcas;
 pub(crate) mod pool;
+#[doc(hidden)]
+pub mod sync;
 pub mod word;
 
 pub use atomic::DAtomic;

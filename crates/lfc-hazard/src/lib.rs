@@ -75,12 +75,35 @@
 
 #![warn(missing_docs)]
 
+use crate::sync::{fence, AtomicPtr, AtomicUsize, Ordering};
 use lfc_runtime::{
     current_tid, on_thread_exit, registered_high_water, thread_is_exiting, CachePadded, MAX_THREADS,
 };
 use std::cell::Cell;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+#[doc(hidden)]
+pub mod sync;
+
+/// Test-only toggles, available only under `--cfg lfc_model`: the model
+/// checker's adversarial acceptance tests re-open fixed bugs behind these
+/// switches and assert the bounded explorer rediscovers them.
+#[cfg(lfc_model)]
+pub mod model_toggles {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Revert the PR 3 stale-tag fix: when set, a scan tags untagged
+    /// retire records with its post-fence global-epoch read **alone**,
+    /// without folding in the entry epochs its reader sweep observed. An
+    /// unrelated advance just before the unlink can then leave the tag one
+    /// generation stale and a pre-unlink reader gets freed under — the
+    /// use-after-free the PR 3 review fix closed.
+    pub static STALE_TAG_BUG: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn stale_tag_bug() -> bool {
+        STALE_TAG_BUG.load(Ordering::Relaxed)
+    }
+}
 
 /// Named hazard-slot indices (roles) within a thread's slot bank.
 pub mod slot {
@@ -443,7 +466,7 @@ pub fn pin_op() -> OpGuard {
             // operation cannot reach the scan's retired blocks at all.
             // Either way, a record whose tag is *below* our entry epoch
             // is unreachable by this operation.
-            std::sync::atomic::fence(Ordering::SeqCst);
+            fence(Ordering::SeqCst);
             // SeqCst (audited, required): re-reads the global epoch after
             // the fence so the published epoch is never left behind an
             // advance performed by a scan that fenced before us. This is
@@ -510,7 +533,7 @@ pub fn advance_epoch() -> usize {
 /// The smallest entry epoch among currently active readers, or `None` when
 /// every thread is quiescent (diagnostics/tests).
 pub fn min_active_epoch() -> Option<usize> {
-    std::sync::atomic::fence(Ordering::SeqCst);
+    fence(Ordering::SeqCst);
     let hw = registered_high_water();
     EPOCHS
         .iter()
@@ -587,7 +610,7 @@ fn collect_protection() -> Protection {
     // the unlink and fails validation / cannot reach the block — or its SC
     // slot store/fence precedes this fence in the SC order, and the loads
     // below see the protection. Cold path: one fence per scan.
-    std::sync::atomic::fence(Ordering::SeqCst);
+    fence(Ordering::SeqCst);
     let hw = registered_high_water();
 
     // Epoch sweep BEFORE the hazard sweep. A reader that exits its epoch
@@ -636,6 +659,12 @@ fn collect_protection() -> Protection {
                 all_at_cur = false;
             }
         }
+    }
+    #[cfg(lfc_model)]
+    if model_toggles::stale_tag_bug() {
+        // Adversarial acceptance toggle: drop the reader-sweep fold and
+        // tag with the (possibly stale) epoch read alone.
+        tag = cur;
     }
     if all_at_cur {
         // Every active reader has caught up with the current epoch (or no

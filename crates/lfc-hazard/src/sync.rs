@@ -1,0 +1,6 @@
+//! Crate-local virtual-atomics facade: re-exports
+//! [`lfc_runtime::sync`] (see there). Every protocol atomic in this crate
+//! — hazard slot banks, epoch slots, the global epoch, the orphan stack —
+//! must import from here, never from `std` directly.
+
+pub use lfc_runtime::sync::*;

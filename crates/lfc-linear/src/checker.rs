@@ -111,7 +111,7 @@ mod tests {
     use crate::specs::{QueueOp, QueueSpec};
 
     fn e(op: QueueOp, invoke: u64, ret: u64) -> Entry<QueueOp> {
-        Entry { op, invoke, ret }
+        Entry::new(op, invoke, ret)
     }
 
     #[test]

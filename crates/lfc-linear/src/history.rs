@@ -8,7 +8,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// One completed operation: its op-with-outcome and its interval.
+/// One completed operation: its op-with-outcome, its interval, and the
+/// recording lane (one lane per recording thread — what the counterexample
+/// timeline renders as a column).
 #[derive(Clone, Debug)]
 pub struct Entry<O> {
     /// The operation, including its observed result.
@@ -17,6 +19,21 @@ pub struct Entry<O> {
     pub invoke: u64,
     /// Response timestamp (`invoke < ret`).
     pub ret: u64,
+    /// Recording lane (dense per-recorder thread index; 0 for hand-built
+    /// histories).
+    pub lane: u16,
+}
+
+impl<O> Entry<O> {
+    /// Hand-built entry on lane 0 (spec tests, golden histories).
+    pub fn new(op: O, invoke: u64, ret: u64) -> Self {
+        Entry {
+            op,
+            invoke,
+            ret,
+            lane: 0,
+        }
+    }
 }
 
 /// Records a concurrent history across threads.
@@ -24,6 +41,7 @@ pub struct Entry<O> {
 pub struct Recorder<O> {
     clock: AtomicU64,
     entries: Mutex<Vec<Entry<O>>>,
+    lanes: Mutex<Vec<std::thread::ThreadId>>,
 }
 
 impl<O> Recorder<O> {
@@ -32,6 +50,7 @@ impl<O> Recorder<O> {
         Recorder {
             clock: AtomicU64::new(0),
             entries: Mutex::new(Vec::new()),
+            lanes: Mutex::new(Vec::new()),
         }
     }
 
@@ -40,20 +59,46 @@ impl<O> Recorder<O> {
         self.clock.fetch_add(1, Ordering::SeqCst)
     }
 
+    /// Dense lane index of the calling thread (first use assigns the next
+    /// free lane).
+    pub fn lane(&self) -> u16 {
+        let id = std::thread::current().id();
+        let mut lanes = self.lanes.lock().unwrap();
+        match lanes.iter().position(|&l| l == id) {
+            Some(i) => i as u16,
+            None => {
+                lanes.push(id);
+                (lanes.len() - 1) as u16
+            }
+        }
+    }
+
     /// Run `f`, recording its interval; `f` returns the op-with-outcome to
     /// log (so the outcome can be derived from the operation's own result).
     pub fn record<F: FnOnce() -> O>(&self, f: F) -> &Self {
+        let lane = self.lane();
         let invoke = self.now();
         let op = f();
         let ret = self.now();
-        self.entries.lock().unwrap().push(Entry { op, invoke, ret });
+        self.entries.lock().unwrap().push(Entry {
+            op,
+            invoke,
+            ret,
+            lane,
+        });
         self
     }
 
     /// Log a pre-timed entry (when the caller measured the interval itself).
     pub fn push(&self, op: O, invoke: u64, ret: u64) {
         debug_assert!(invoke < ret);
-        self.entries.lock().unwrap().push(Entry { op, invoke, ret });
+        let lane = self.lane();
+        self.entries.lock().unwrap().push(Entry {
+            op,
+            invoke,
+            ret,
+            lane,
+        });
     }
 
     /// Extract the history, sorted by invocation.

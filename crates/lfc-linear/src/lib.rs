@@ -10,20 +10,23 @@
 //! This crate records concurrent histories ([`Recorder`]) and decides
 //! linearizability against a sequential specification ([`Spec`]) with a
 //! Wing–Gong-style exhaustive search, memoized on (linearized-set, state)
-//! pairs as in Lowe's checker. Specifications for queues, stacks, and —
+//! pairs as in Lowe's checker. Counterexamples render as aligned
+//! per-thread timelines ([`render_history`]) instead of raw entry dumps. Specifications for queues, stacks, and —
 //! crucially — *pairs of containers with an atomic move* live in [`specs`].
 
 #![warn(missing_docs)]
 
 pub mod checker;
 pub mod history;
+pub mod report;
 pub mod specs;
 
 pub use checker::{check_linearizable, CheckResult};
 pub use history::{Entry, Recorder};
+pub use report::render_history;
 pub use specs::{
-    Cont, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp, PairSpec, QueueOp, QueueSpec,
-    StackOp, StackSpec, SwapResult, TrioOp, TrioSpec,
+    Cont, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, MapOp, MapSpec, PairOp, PairSpec, QueueOp,
+    QueueSpec, SlotOp, SlotSpec, StackOp, StackSpec, SwapResult, TrioOp, TrioSpec,
 };
 
 use std::hash::Hash;

@@ -1,0 +1,104 @@
+//! Readable counterexample rendering: an aligned per-thread timeline of a
+//! recorded history, so a failing (or shrunk) history can be understood
+//! without a debugger — previously failures dumped the raw `Entry` debug
+//! list.
+//!
+//! Rows are ordered by invocation; each recording thread (lane) gets a
+//! column; the `[invoke..ret]` interval prefix makes real-time overlap
+//! visible at a glance (two rows overlap iff their intervals do).
+
+use crate::history::Entry;
+
+/// Render `history` as an aligned per-lane timeline.
+///
+/// ```
+/// use lfc_linear::{specs::QueueOp, Entry, report::render_history};
+/// let h = vec![
+///     Entry::new(QueueOp::Enq(1), 0, 1),
+///     Entry { op: QueueOp::Deq(Some(1)), invoke: 2, ret: 5, lane: 1 },
+/// ];
+/// let s = render_history(&h);
+/// assert!(s.contains("thread 0") && s.contains("thread 1"));
+/// assert!(s.contains("[  2..  5] Deq(Some(1))"));
+/// ```
+pub fn render_history<O: std::fmt::Debug>(history: &[Entry<O>]) -> String {
+    if history.is_empty() {
+        return "  (empty history)\n".to_string();
+    }
+    let lanes = history
+        .iter()
+        .map(|e| e.lane as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let mut order: Vec<usize> = (0..history.len()).collect();
+    order.sort_by_key(|&i| history[i].invoke);
+    let texts: Vec<String> = history
+        .iter()
+        .map(|e| format!("[{:>3}..{:>3}] {:?}", e.invoke, e.ret, e.op))
+        .collect();
+    let mut width = vec!["thread 0".len() + 2; lanes];
+    for (e, t) in history.iter().zip(&texts) {
+        let l = e.lane as usize;
+        width[l] = width[l].max(t.len() + 2);
+    }
+    let mut out = String::new();
+    out.push_str("  ");
+    for (l, w) in width.iter().enumerate() {
+        out.push_str(&format!("| {:<w$}", format!("thread {l}"), w = w));
+    }
+    out.push('\n');
+    for &i in &order {
+        let lane = history[i].lane as usize;
+        out.push_str("  ");
+        for (l, w) in width.iter().enumerate() {
+            if l == lane {
+                out.push_str(&format!("| {:<w$}", texts[i], w = w));
+            } else {
+                out.push_str(&format!("| {:<w$}", "", w = w));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::QueueOp;
+
+    #[test]
+    fn timeline_has_one_column_per_lane_and_sorted_rows() {
+        let h = vec![
+            Entry {
+                op: QueueOp::Deq(None),
+                invoke: 4,
+                ret: 6,
+                lane: 1,
+            },
+            Entry {
+                op: QueueOp::Enq(7),
+                invoke: 0,
+                ret: 2,
+                lane: 0,
+            },
+        ];
+        let s = render_history(&h);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[0].contains("thread 0") && lines[0].contains("thread 1"));
+        // Sorted by invocation: the enqueue row comes first.
+        assert!(lines[1].contains("Enq(7)"));
+        assert!(lines[2].contains("Deq(None)"));
+        // Lane separation: Deq sits in the second column.
+        let deq_col = lines[2].rfind('|').unwrap();
+        assert!(lines[2][deq_col..].contains("Deq"));
+        assert!(!lines[2][..deq_col].contains("Deq"));
+    }
+
+    #[test]
+    fn empty_history_renders_placeholder() {
+        let h: Vec<Entry<QueueOp>> = Vec::new();
+        assert!(render_history(&h).contains("empty"));
+    }
+}

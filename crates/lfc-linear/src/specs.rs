@@ -285,6 +285,84 @@ impl Spec for KeyedPairSpec {
     }
 }
 
+/// Operations on a single keyed map (insert-if-absent semantics, as the
+/// `LfHashMap` structure implements them) with observed outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapOp {
+    /// `insert(k, v)`; observed acceptance (`false` = key was present).
+    Insert(u32, u32, bool),
+    /// `remove(k) -> v?`.
+    Remove(u32, Option<u32>),
+    /// `get(k) -> v?` (a read-only observer).
+    Get(u32, Option<u32>),
+}
+
+/// Sequential specification of a keyed map with insert-if-absent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MapSpec;
+
+impl Spec for MapSpec {
+    type State = std::collections::BTreeMap<u32, u32>;
+    type Op = MapOp;
+
+    fn init(&self) -> Self::State {
+        Default::default()
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+        let mut s = state.clone();
+        let ok = match *op {
+            MapOp::Insert(k, v, accepted) => match s.entry(k) {
+                std::collections::btree_map::Entry::Occupied(_) => !accepted,
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                    accepted
+                }
+            },
+            MapOp::Remove(k, expected) => s.remove(&k) == expected,
+            MapOp::Get(k, expected) => s.get(&k).copied() == expected,
+        };
+        ok.then_some(s)
+    }
+}
+
+/// Operations on a bounded one-element slot with observed outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotOp {
+    /// `put(v)`; observed acceptance (`false` = slot was occupied — the
+    /// bounded-container rejection that exercises move aborts).
+    Put(u32, bool),
+    /// `take() -> v?`.
+    Take(Option<u32>),
+    /// `peek() -> v?` (non-destructive observer).
+    Peek(Option<u32>),
+}
+
+/// Sequential specification of a one-element slot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlotSpec;
+
+impl Spec for SlotSpec {
+    type State = Option<u32>;
+    type Op = SlotOp;
+
+    fn init(&self) -> Self::State {
+        None
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+        match *op {
+            SlotOp::Put(v, accepted) => match (state, accepted) {
+                (None, true) => Some(Some(v)),
+                (Some(_), false) => Some(*state),
+                _ => None,
+            },
+            SlotOp::Take(expected) => (*state == expected).then_some(None),
+            SlotOp::Peek(expected) => (*state == expected).then_some(*state),
+        }
+    }
+}
+
 /// Operations on a source container A broadcast-composed with two targets
 /// (B, C) — the sequential specification of `move_to_all` with two targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -357,7 +435,7 @@ mod tests {
     use crate::history::Entry;
 
     fn e(op: PairOp, invoke: u64, ret: u64) -> Entry<PairOp> {
-        Entry { op, invoke, ret }
+        Entry::new(op, invoke, ret)
     }
 
     #[test]
@@ -511,7 +589,7 @@ mod tests {
             b: Cont::Fifo,
             c: Cont::Fifo,
         };
-        let te = |op, invoke, ret| Entry { op, invoke, ret };
+        let te = Entry::new;
         let h = vec![
             te(TrioOp::InsA(7), 0, 1),
             te(TrioOp::Broadcast(true), 2, 20),
@@ -562,26 +640,65 @@ mod tests {
         // RemB=false, sequentially). No single move point exists.
         let spec = KeyedPairSpec;
         let h = vec![
-            Entry {
-                op: KeyedPairOp::InsA(5, true),
-                invoke: 0,
-                ret: 1,
-            },
-            Entry {
-                op: KeyedPairOp::MoveAB(5, KeyedMoveResult::Moved),
-                invoke: 2,
-                ret: 20,
-            },
-            Entry {
-                op: KeyedPairOp::RemA(5, false),
-                invoke: 3,
-                ret: 5,
-            },
-            Entry {
-                op: KeyedPairOp::RemB(5, false),
-                invoke: 6,
-                ret: 8,
-            },
+            Entry::new(KeyedPairOp::InsA(5, true), 0, 1),
+            Entry::new(KeyedPairOp::MoveAB(5, KeyedMoveResult::Moved), 2, 20),
+            Entry::new(KeyedPairOp::RemA(5, false), 3, 5),
+            Entry::new(KeyedPairOp::RemB(5, false), 6, 8),
+        ];
+        assert_eq!(check_linearizable(&spec, &h), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn map_spec_insert_if_absent() {
+        let spec = MapSpec;
+        let st = spec.init();
+        let st = spec.apply(&st, &MapOp::Insert(1, 10, true)).unwrap();
+        assert!(spec.apply(&st, &MapOp::Insert(1, 11, true)).is_none());
+        let st = spec.apply(&st, &MapOp::Insert(1, 11, false)).unwrap();
+        let st = spec.apply(&st, &MapOp::Get(1, Some(10))).unwrap();
+        assert!(spec.apply(&st, &MapOp::Get(1, Some(11))).is_none());
+        let st = spec.apply(&st, &MapOp::Remove(1, Some(10))).unwrap();
+        let st = spec.apply(&st, &MapOp::Remove(1, None)).unwrap();
+        assert!(spec.apply(&st, &MapOp::Get(1, Some(10))).is_none());
+        let _ = st;
+    }
+
+    #[test]
+    fn slot_spec_bounded_capacity() {
+        let spec = SlotSpec;
+        let st = spec.init();
+        assert!(
+            spec.apply(&st, &SlotOp::Put(1, false)).is_none(),
+            "empty accepts"
+        );
+        let st = spec.apply(&st, &SlotOp::Put(1, true)).unwrap();
+        assert!(
+            spec.apply(&st, &SlotOp::Put(2, true)).is_none(),
+            "occupied rejects"
+        );
+        let st = spec.apply(&st, &SlotOp::Put(2, false)).unwrap();
+        let st = spec.apply(&st, &SlotOp::Peek(Some(1))).unwrap();
+        let st = spec.apply(&st, &SlotOp::Take(Some(1))).unwrap();
+        let st = spec.apply(&st, &SlotOp::Take(None)).unwrap();
+        let _ = st;
+    }
+
+    #[test]
+    fn slot_full_rejection_window_is_checked() {
+        // put(2)->false (rejected) completing before take(1) starts forces
+        // the rejection to linearize while the slot still holds 1 — legal;
+        // but a rejection after the take completed is not.
+        let spec = SlotSpec;
+        let h = vec![
+            Entry::new(SlotOp::Put(1, true), 0, 1),
+            Entry::new(SlotOp::Put(2, false), 2, 3),
+            Entry::new(SlotOp::Take(Some(1)), 4, 5),
+        ];
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+        let h = vec![
+            Entry::new(SlotOp::Put(1, true), 0, 1),
+            Entry::new(SlotOp::Take(Some(1)), 2, 3),
+            Entry::new(SlotOp::Put(2, false), 4, 5),
         ];
         assert_eq!(check_linearizable(&spec, &h), CheckResult::NotLinearizable);
     }

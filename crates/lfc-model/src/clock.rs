@@ -1,0 +1,58 @@
+//! Fixed-size vector clocks tracking happens-before between model threads.
+
+/// Maximum number of threads in one model execution (root + spawned).
+pub const MAX_MODEL_THREADS: usize = 8;
+
+/// A vector clock over the model-thread slots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VClock(pub [u32; MAX_MODEL_THREADS]);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const ZERO: VClock = VClock([0; MAX_MODEL_THREADS]);
+
+    /// Pointwise maximum (join) with `other`.
+    #[inline]
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Advance this thread's own component, returning the new timestamp.
+    #[inline]
+    pub fn tick(&mut self, tid: usize) -> u32 {
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    /// Whether the event `(tid, ts)` happens-before the state this clock
+    /// summarizes (the event's timestamp is covered by the clock).
+    #[inline]
+    pub fn covers(&self, tid: usize, ts: u32) -> bool {
+        self.0[tid] >= ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock([1, 5, 0, 0, 0, 0, 0, 0]);
+        let b = VClock([3, 2, 4, 0, 0, 0, 0, 0]);
+        a.join(&b);
+        assert_eq!(a.0[..3], [3, 5, 4]);
+    }
+
+    #[test]
+    fn tick_and_covers() {
+        let mut c = VClock::ZERO;
+        let t = c.tick(2);
+        assert_eq!(t, 1);
+        assert!(c.covers(2, 1));
+        assert!(!c.covers(2, 2));
+        assert!(c.covers(0, 0), "zero timestamps are always covered");
+    }
+}

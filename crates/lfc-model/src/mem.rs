@@ -1,0 +1,244 @@
+//! Shadow memory: per-location store histories, visibility candidates, and
+//! the freed-block quarantine.
+//!
+//! Every instrumented atomic location gets a modification-order list of
+//! stores, each stamped with its writer, the writer's timestamp, an
+//! optional release clock (for acquire synchronization) and an optional
+//! [`crate::sc::ScNode`]. A load's admissible values are the suffix of the
+//! modification order starting at the newest store that already
+//! happens-before the reader (older stores are hidden by coherence); under
+//! [`MemoryMode::Weak`] the scheduler branches over that suffix, filtered
+//! by the SC constraint graph.
+
+use crate::clock::VClock;
+use crate::sc::ScNode;
+use std::collections::HashMap;
+
+/// Per-location minimum-visible store indices, propagated along exactly
+/// the edges vector clocks propagate on (program order, release→acquire,
+/// SC fences, spawn/join). This is what enforces C11 read-read coherence
+/// (CoRR): once a read of store `i` happens-before you, you may not read
+/// anything older than `i`.
+pub type View = HashMap<usize, u32>;
+
+/// Join `other` into `view` (pointwise maximum); reports whether `view`
+/// changed (used to invalidate release snapshots).
+pub fn view_join(view: &mut View, other: &View) -> bool {
+    let mut changed = false;
+    for (&addr, &idx) in other {
+        let e = view.entry(addr).or_insert(0);
+        if *e < idx {
+            *e = idx;
+            changed = true;
+        } else if *e == 0 && idx == 0 {
+            // Entry was just created at 0: the map changed shape but not
+            // any floor; irrelevant for snapshot reuse.
+        }
+    }
+    changed
+}
+
+/// Release payload of a store: everything an acquire reader of this store
+/// synchronizes with.
+#[derive(Clone, Debug)]
+pub struct RelState {
+    /// The releasing thread's clock at the store.
+    pub clock: VClock,
+    /// The releasing thread's read-view at the store (CoRR propagation).
+    /// Shared: the releaser snapshots its view once and reuses the `Arc`
+    /// until the view next changes, so a Release store is O(1) unless the
+    /// view moved.
+    pub view: std::sync::Arc<View>,
+}
+
+/// Memory-model strength of one model run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MemoryMode {
+    /// Every load returns the newest store: the model explores thread
+    /// interleavings only (sequential consistency). This is the right mode
+    /// for linearizability fuzzing — the repo's read-only results are
+    /// anchored on SC loads, so SC-interleaving semantics match the
+    /// structures' intended real-time behaviour — and it keeps the state
+    /// space down.
+    #[default]
+    Interleaving,
+    /// Loads may additionally return *stale* stores whenever coherence,
+    /// happens-before and the SC constraint graph all permit it. Required
+    /// to reproduce non-multi-copy-atomic behaviours such as the PR 3
+    /// stale-epoch-tag bug.
+    Weak,
+}
+
+/// One store in a location's modification order.
+#[derive(Clone, Debug)]
+pub struct StoreRec {
+    /// Stored value (pointers and bools are widened to `usize`).
+    pub val: usize,
+    /// Writing model thread (`None` for the pre-execution seed value).
+    pub writer: Option<usize>,
+    /// The writer's own timestamp at the store (for happens-before tests).
+    pub ts: u32,
+    /// Release payload: present iff the store had Release semantics (or
+    /// continues a release sequence through an RMW).
+    pub rel: Option<RelState>,
+    /// SC-graph node iff the store was SeqCst.
+    pub sc_node: Option<ScNode>,
+}
+
+/// One instrumented atomic location.
+#[derive(Debug)]
+pub struct Loc {
+    /// Modification order; never empty (seeded on first touch).
+    pub stores: Vec<StoreRec>,
+    /// Reader anchors for retroactive SC constraints: `(node, idx)` means
+    /// the SC event `node` (an SC load, or an SC fence sequenced before a
+    /// load) observed store `idx`. A *later* SC store (or writer-side
+    /// fence) to this location must be SC-after every anchor that read an
+    /// older store — C11 p4/p5 applied when the store appears after the
+    /// read in execution order.
+    pub readers: Vec<(ScNode, u32)>,
+    /// Small dense id for readable traces.
+    pub display_id: u32,
+}
+
+impl Loc {
+    /// Index of the newest store visible-or-later for a reader — the
+    /// largest index whose store happens-before the reader (per `clock`),
+    /// maxed with the reader's CoRR floor `own` (its view entry for this
+    /// location, which covers its own reads/writes *and* reads by other
+    /// threads that happen-before it).
+    pub fn visibility_floor(&self, own: usize, clock: &VClock) -> usize {
+        let mut hb = 0;
+        for (i, s) in self.stores.iter().enumerate().rev() {
+            match s.writer {
+                None => {
+                    hb = i;
+                    break;
+                }
+                Some(w) => {
+                    if clock.covers(w, s.ts) {
+                        hb = i;
+                        break;
+                    }
+                }
+            }
+        }
+        hb.max(own)
+    }
+
+    /// Latest store index.
+    pub fn latest(&self) -> usize {
+        self.stores.len() - 1
+    }
+}
+
+/// A block handed to the quarantine instead of the allocator: kept mapped
+/// (so stale accesses are defined behaviour and detectable) until the
+/// execution ends, then released for real. `(size, align)` of the layout
+/// to release it with, keyed by base address.
+pub type Quarantine = std::collections::BTreeMap<usize, (usize, usize)>;
+
+/// All shadow memory of one execution.
+#[derive(Debug, Default)]
+pub struct Mem {
+    locs: HashMap<usize, Loc>,
+    next_display_id: u32,
+    /// Blocks freed during the execution; checked on every atomic access.
+    pub quarantine: Quarantine,
+}
+
+impl Mem {
+    /// The location at `addr`, seeded with `seed` (the real atomic's
+    /// current value) on first touch.
+    pub fn loc(&mut self, addr: usize, seed: impl FnOnce() -> usize) -> &mut Loc {
+        let next_id = &mut self.next_display_id;
+        self.locs.entry(addr).or_insert_with(|| {
+            let id = *next_id;
+            *next_id += 1;
+            Loc {
+                stores: vec![StoreRec {
+                    val: seed(),
+                    writer: None,
+                    ts: 0,
+                    rel: None,
+                    sc_node: None,
+                }],
+                readers: Vec::new(),
+                display_id: id,
+            }
+        })
+    }
+
+    /// Read-only lookup of an existing location.
+    pub fn peek_loc(&self, addr: usize) -> Option<&Loc> {
+        self.locs.get(&addr)
+    }
+
+    /// Whether `addr` falls inside a freed (quarantined) block
+    /// (`O(log frees)` — this runs on every instrumented access).
+    pub fn is_freed(&self, addr: usize) -> bool {
+        self.quarantine
+            .range(..=addr)
+            .next_back()
+            .is_some_and(|(&base, &(size, _))| addr < base + size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(val: usize, writer: usize, ts: u32) -> StoreRec {
+        StoreRec {
+            val,
+            writer: Some(writer),
+            ts,
+            rel: None,
+            sc_node: None,
+        }
+    }
+
+    #[test]
+    fn floor_respects_happens_before_and_coherence() {
+        let mut m = Mem::default();
+        let loc = m.loc(0x1000, || 7);
+        loc.stores.push(store(8, 1, 1));
+        loc.stores.push(store(9, 2, 1));
+        // No view floor and no store happens-before the reader: floor is
+        // the seed store, candidates are everything.
+        let c0 = VClock::ZERO;
+        assert_eq!(loc.visibility_floor(0, &c0), 0);
+        // Once thread 1's first event is covered, its store hides the seed.
+        let mut c = VClock::ZERO;
+        c.0[1] = 1;
+        assert_eq!(loc.visibility_floor(0, &c), 1);
+        // A CoRR view floor (own or inherited through happens-before)
+        // dominates.
+        assert_eq!(loc.visibility_floor(2, &c), 2);
+    }
+
+    #[test]
+    fn view_join_is_pointwise_max_and_reports_changes() {
+        let mut a: View = [(1usize, 3u32), (2, 1)].into_iter().collect();
+        let b: View = [(2usize, 5u32), (7, 2)].into_iter().collect();
+        assert!(view_join(&mut a, &b));
+        assert_eq!(a[&1], 3);
+        assert_eq!(a[&2], 5);
+        assert_eq!(a[&7], 2);
+        let same = a.clone();
+        assert!(!view_join(&mut a, &same), "self-join changes nothing");
+    }
+
+    #[test]
+    fn quarantine_hit_detection() {
+        let mut m = Mem::default();
+        m.quarantine.insert(0x2000, (64, 8));
+        m.quarantine.insert(0x3000, (16, 8));
+        assert!(m.is_freed(0x2000));
+        assert!(m.is_freed(0x203F));
+        assert!(!m.is_freed(0x2040));
+        assert!(!m.is_freed(0x1FFF));
+        assert!(m.is_freed(0x300F));
+        assert!(!m.is_freed(0x3010));
+    }
+}

@@ -1,0 +1,160 @@
+//! The explorable SeqCst order, as a growing constraint graph.
+//!
+//! C11 gives every execution a single total order *S* over all `SeqCst`
+//! operations and fences, consistent with each thread's program order, with
+//! per-location coherence for SC reads (atomics.order p4: an SC load reads
+//! the last SC store to its location that precedes it in *S*, or a later
+//! non-SC store), and with the fence rules (p5–p7: a write sequenced before
+//! an SC fence is seen by SC loads — and by plain loads fenced on the
+//! reader's side — ordered after that fence in *S*).
+//!
+//! The crucial subtlety is that *S* is **not** the execution interleaving:
+//! an SC load may legitimately return a *stale* value as long as placing it
+//! *before* the skipped SC store in *S* is consistent — the behaviour real
+//! non-multi-copy-atomic hardware exhibits, and exactly the shape of the
+//! PR 3 stale-epoch-tag use-after-free. A model that pins *S* to the
+//! interleaving (as loom does) can never reproduce that class of bug.
+//!
+//! So instead of fixing *S*, the model accumulates *ordering constraints*:
+//! program-order edges between a thread's SC events, reads-from edges, and
+//! — whenever a load is granted a stale candidate — the contrapositives of
+//! p4/p5/p6/p7 ("if you did not see it, you precede it in *S*"). A
+//! candidate value is admissible iff adding its edges keeps the graph
+//! acyclic, i.e. iff at least one legal total order *S* remains.
+
+/// An SC event (operation or fence) in the constraint graph.
+pub type ScNode = u32;
+
+/// Growing DAG of "must precede in the SC order" constraints.
+#[derive(Debug, Default)]
+pub struct ScGraph {
+    adj: Vec<Vec<ScNode>>,
+}
+
+impl ScGraph {
+    /// Fresh, empty graph.
+    pub fn new() -> Self {
+        ScGraph::default()
+    }
+
+    /// Allocate a node for a new SC event.
+    pub fn new_node(&mut self) -> ScNode {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as ScNode
+    }
+
+    fn reaches(&self, from: ScNode, to: ScNode) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[n as usize], true) {
+                continue;
+            }
+            stack.extend_from_slice(&self.adj[n as usize]);
+        }
+        false
+    }
+
+    /// Add one edge unconditionally (caller knows it cannot close a cycle,
+    /// e.g. program order to a brand-new node).
+    pub fn add_edge(&mut self, a: ScNode, b: ScNode) {
+        if a != b && !self.adj[a as usize].contains(&b) {
+            self.adj[a as usize].push(b);
+        }
+    }
+
+    /// Try to add a batch of edges. On success returns the edges that were
+    /// actually inserted (already-present ones are skipped), so a
+    /// satisfiability probe can be withdrawn exactly with
+    /// [`ScGraph::remove_exact`]. On any cycle the whole batch is rolled
+    /// back and `None` is returned (the candidate behaviour is inconsistent
+    /// with every SC total order).
+    pub fn add_edges_checked(
+        &mut self,
+        edges: &[(ScNode, ScNode)],
+    ) -> Option<Vec<(ScNode, ScNode)>> {
+        let mut added = Vec::new();
+        for &(a, b) in edges {
+            if a == b {
+                // A self-edge is an immediate contradiction.
+                self.remove_exact(&added);
+                return None;
+            }
+            if self.adj[a as usize].contains(&b) {
+                continue;
+            }
+            if self.reaches(b, a) {
+                self.remove_exact(&added);
+                return None;
+            }
+            self.adj[a as usize].push(b);
+            added.push((a, b));
+        }
+        Some(added)
+    }
+
+    /// Remove exactly the edges returned by a successful
+    /// [`ScGraph::add_edges_checked`] (withdrawing a probe).
+    pub fn remove_exact(&mut self, added: &[(ScNode, ScNode)]) {
+        for &(a, b) in added.iter().rev() {
+            let v = &mut self.adj[a as usize];
+            if let Some(i) = v.iter().rposition(|&x| x == b) {
+                v.remove(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_edges_accepted() {
+        let mut g = ScGraph::new();
+        let a = g.new_node();
+        let b = g.new_node();
+        let c = g.new_node();
+        assert!(g.add_edges_checked(&[(a, b), (b, c)]).is_some());
+        assert!(g.reaches(a, c));
+    }
+
+    #[test]
+    fn cycle_rejected_and_rolled_back() {
+        let mut g = ScGraph::new();
+        let a = g.new_node();
+        let b = g.new_node();
+        let c = g.new_node();
+        assert!(g.add_edges_checked(&[(a, b), (b, c)]).is_some());
+        // Closing the cycle must fail and leave the graph unchanged.
+        assert!(g.add_edges_checked(&[(c, b), (c, a)]).is_none());
+        assert!(!g.reaches(c, a));
+        assert!(!g.reaches(c, b));
+        // The graph still accepts consistent extensions.
+        assert!(g.add_edges_checked(&[(a, c)]).is_some());
+    }
+
+    #[test]
+    fn dekker_shape_is_contradictory() {
+        // s1 -> l1 (PO), s2 -> l2 (PO); both loads stale:
+        // l1 -> s2, l2 -> s1 closes the classic Dekker cycle.
+        let mut g = ScGraph::new();
+        let s1 = g.new_node();
+        let l1 = g.new_node();
+        let s2 = g.new_node();
+        let l2 = g.new_node();
+        g.add_edge(s1, l1);
+        g.add_edge(s2, l2);
+        assert!(g.add_edges_checked(&[(l1, s2)]).is_some());
+        assert!(
+            g.add_edges_checked(&[(l2, s1)]).is_none(),
+            "second stale read must be refused"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Model threads: spawned inside a model execution, scheduled
+//! cooperatively, torn down through the registered thread epilogue so the
+//! instrumented crates' thread-local state is drained *while the thread is
+//! still scheduled* (TLS destructors would otherwise perform instrumented
+//! operations after the scheduler stopped tracking the thread).
+
+use crate::rt;
+use crate::sched::{self, FailureKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle {
+    os: Option<std::thread::JoinHandle<()>>,
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Model thread id (for reading traces).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Wait for the thread. A panic inside the thread was already recorded
+    /// as the execution's failure; join itself never panics for it.
+    pub fn join(mut self) {
+        let (exec, me) = sched::current().expect("JoinHandle::join outside a model execution");
+        exec.join_point(me, self.tid);
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+    }
+}
+
+impl Drop for JoinHandle {
+    fn drop(&mut self) {
+        // A leaked handle is tolerated: the root waits for every registered
+        // thread at execution end, and the OS thread is detached here.
+        let _ = self.os.take();
+    }
+}
+
+pub(crate) fn payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawn a model thread running `f` under the current execution's
+/// scheduler. Must be called from inside a model execution.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (exec, me) = sched::current().expect("lfc_model::thread::spawn outside a model execution");
+    let tid = exec.register_thread(me);
+    let exec2 = exec.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("lfc-model-{tid}"))
+        .spawn(move || {
+            sched::set_current(exec2.clone(), tid);
+            exec2.start_point(tid);
+            let r = catch_unwind(AssertUnwindSafe(f));
+            if let Err(p) = r {
+                exec2.stop_failure(FailureKind::Panic(payload_to_string(p.as_ref())));
+            }
+            // Drain lfc thread-local state (hazard retire lists, allocator
+            // magazines, the thread id) while still scheduled; after the
+            // failure above this runs in passthrough mode.
+            rt::run_thread_epilogue();
+            sched::clear_current();
+            exec2.thread_finished(tid);
+        })
+        .expect("spawn model thread");
+    JoinHandle { os: Some(os), tid }
+}

@@ -1,0 +1,144 @@
+//! Adversarial acceptance test for the model checker (ISSUE 4): with the
+//! PR 3 stale-tag fix reverted behind `lfc_hazard::model_toggles`, the
+//! bounded explorer must rediscover the use-after-free; with the fix in
+//! place the same bound must pass clean.
+//!
+//! The bug (closed by the PR 3 review fix): a scan tags untagged retire
+//! records with its post-fence read of the global epoch. An *unrelated*
+//! advance can happen just before the unlink with nothing ordering the
+//! tagging scan's read after it — the read may come back one generation
+//! stale (a non-multi-copy-atomic behaviour the C11 model permits). A
+//! reader that entered and validated at the newer epoch *before* the
+//! unlink then satisfies `tag < min_enter` at the next scan and its block
+//! is freed under it. The fix folds every entry epoch the reader sweep
+//! observes into the tag (`max`), which the SC fence-fence rule makes
+//! sufficient.
+//!
+//! Requires `RUSTFLAGS="--cfg lfc_model"`; compiles to nothing otherwise.
+#![cfg(lfc_model)]
+
+use lfc_runtime::sync::{AtomicUsize, Ordering};
+use std::alloc::Layout;
+use std::sync::Arc;
+
+const MAGIC: usize = 0xFEED_F00D;
+const NODE_LAYOUT: Layout = Layout::new::<[usize; 4]>();
+
+unsafe fn reclaim_node(p: *mut u8) {
+    // Safety: forwarded retire contract; the block came from alloc_block
+    // with NODE_LAYOUT.
+    unsafe { lfc_alloc::free_block(p, NODE_LAYOUT) };
+}
+
+/// One round of the scenario. Three concurrent roles:
+///
+/// * the *root* forces an unrelated epoch advance (the "just before the
+///   unlink" advance of the bug report — unordered to both workers),
+/// * a *reader* pins an operation epoch, loads the shared word and
+///   dereferences the node it still points to,
+/// * an *unlinker* swings the word to null, retires the node and runs two
+///   reclamation scans (the first tags, the second frees).
+///
+/// Under the buggy tagging rule some interleaving + stale-read choice
+/// frees the node while the reader holds it; the facade detects the
+/// reader's access to the quarantined block.
+fn scenario() {
+    // A fresh "node" allocation holding a MAGIC word, published through a
+    // shared location (the structure's "head").
+    let node = lfc_alloc::alloc_block(NODE_LAYOUT).as_ptr() as *mut AtomicUsize;
+    // Safety: fresh, correctly sized block.
+    unsafe { node.write(AtomicUsize::new(MAGIC)) };
+    let loc = Arc::new(AtomicUsize::new(node as usize));
+
+    let reader = {
+        let loc = loc.clone();
+        lfc_model::thread::spawn(move || {
+            let _g = lfc_hazard::pin_op();
+            // Traversal-grade acquire hop (what `DAtomic::read_acquire`
+            // does on the fast path).
+            let p = loc.load(Ordering::Acquire);
+            if p != 0 {
+                // Safety: the operation epoch entered above must keep a
+                // node reachable at entry alive for the whole walk — the
+                // property under test. A use-after-free here is caught by
+                // the facade (the block is quarantined, never unmapped).
+                let v = unsafe { &*(p as *const AtomicUsize) }.load(Ordering::Acquire);
+                assert_eq!(v, MAGIC, "node content changed under the epoch");
+            }
+        })
+    };
+    let unlinker = {
+        let loc = loc.clone();
+        lfc_model::thread::spawn(move || {
+            let p = loc.load(Ordering::Acquire);
+            if p != 0
+                && loc
+                    .compare_exchange(p, 0, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                // Safety: unlinked by the CAS per the retire contract.
+                unsafe { lfc_hazard::retire(p as *mut u8, reclaim_node) };
+                // First scan tags the record, second can free it.
+                lfc_hazard::flush();
+                lfc_hazard::flush();
+            }
+        })
+    };
+    // The unrelated advance, concurrent with both workers.
+    lfc_hazard::advance_epoch();
+    reader.join();
+    unlinker.join();
+}
+
+fn opts() -> lfc_model::ExploreOpts {
+    lfc_model::ExploreOpts {
+        // One preemption reaches the bug: park the reader between its
+        // pointer load and its dereference while the unlinker runs both
+        // scans.
+        preemption_bound: 1,
+        step_budget: 50_000,
+        max_executions: 60_000,
+        memory: lfc_model::MemoryMode::Weak,
+    }
+}
+
+/// Both phases live in ONE test: the toggle is process-global state, and
+/// two `#[test]`s flipping it would race under cargo's default parallel
+/// test threads (the stores happen outside the exploration lock).
+#[test]
+fn stale_tag_acceptance_buggy_caught_then_fixed_clean() {
+    // Phase 1 — fix reverted: the bounded explorer must find the UAF.
+    lfc_hazard::model_toggles::STALE_TAG_BUG.store(true, std::sync::atomic::Ordering::SeqCst);
+    let report = lfc_model::explore(opts(), scenario);
+    lfc_hazard::model_toggles::STALE_TAG_BUG.store(false, std::sync::atomic::Ordering::SeqCst);
+    let failure = report
+        .failure
+        .expect("bounded explorer must rediscover the PR 3 stale-tag use-after-free");
+    assert!(
+        matches!(failure.kind, lfc_model::FailureKind::Uaf { .. }),
+        "expected a use-after-free, got: {failure}"
+    );
+    // The report is replayable and human-readable.
+    assert!(!failure.schedule.is_empty());
+    assert!(failure.timeline.contains("T"), "timeline rendered");
+    eprintln!(
+        "rediscovered the stale-tag UAF after {} executions:\n{failure}",
+        report.executions
+    );
+
+    // Phase 2 — fix in place: the same bound must pass clean.
+    let report = lfc_model::explore(opts(), scenario);
+    if let Some(f) = &report.failure {
+        panic!("fixed tagging rule must survive the same bound, but:\n{f}");
+    }
+    assert!(
+        report.complete,
+        "the acceptance claim is a COMPLETE bounded search, not a truncated one \
+         ({} executions hit max_executions)",
+        report.executions
+    );
+    eprintln!(
+        "fixed tagging clean over {} executions (complete: {}, pruned: {})",
+        report.executions, report.complete, report.pruned
+    );
+}

@@ -67,7 +67,7 @@ impl Backoff {
     pub fn fail(&mut self) {
         self.failures += 1;
         if !self.cfg.is_enabled() {
-            std::hint::spin_loop();
+            crate::sync::spin_loop();
             return;
         }
         spin_wait(Duration::from_nanos(self.cur_ns as u64));
@@ -80,7 +80,7 @@ impl Backoff {
 pub fn spin_wait(d: Duration) {
     let start = Instant::now();
     while start.elapsed() < d {
-        std::hint::spin_loop();
+        crate::sync::spin_loop();
     }
 }
 

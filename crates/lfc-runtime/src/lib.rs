@@ -15,6 +15,9 @@
 //!   baseline composition (§6).
 //! * [`pad`] — 128-byte cache-line padding to eliminate false sharing.
 //! * [`rng`] — a small deterministic PRNG for workloads and tests.
+//! * [`sync`] — the virtual-atomics facade every protocol atomic in this
+//!   crate stack goes through: `std::sync::atomic` in normal builds, the
+//!   `lfc-model` instrumented shadow memory under `--cfg lfc_model`.
 
 #![warn(missing_docs)]
 
@@ -23,6 +26,7 @@ pub mod lock;
 pub mod pad;
 pub mod rng;
 pub mod solo;
+pub mod sync;
 pub mod tid;
 
 pub use backoff::{Backoff, BackoffCfg};
@@ -30,6 +34,6 @@ pub use lock::TtasLock;
 pub use pad::CachePadded;
 pub use rng::SmallRng;
 pub use tid::{
-    active_threads, current_tid, on_thread_exit, registered_high_water, thread_is_exiting,
-    MAX_THREADS,
+    active_threads, current_tid, detach_thread, on_thread_exit, registered_high_water,
+    thread_is_exiting, MAX_THREADS,
 };

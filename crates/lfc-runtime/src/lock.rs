@@ -9,7 +9,7 @@
 
 use crate::backoff::{Backoff, BackoffCfg};
 use crate::pad::CachePadded;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{AtomicBool, Ordering};
 
 /// A test-test-and-set spin lock.
 #[derive(Debug, Default)]
@@ -37,7 +37,7 @@ impl TtasLock {
         loop {
             // Test: spin locally on the cached value first.
             while self.locked.load(Ordering::Relaxed) {
-                std::hint::spin_loop();
+                crate::sync::spin_loop();
             }
             // Test-and-set.
             if !self.locked.swap(true, Ordering::Acquire) {

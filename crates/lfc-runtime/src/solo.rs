@@ -24,8 +24,8 @@
 //! lock-freedom of steady-state operations, which never wait.
 
 use crate::pad::CachePadded;
+use crate::sync::{AtomicUsize, Ordering};
 use crate::tid;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Non-zero while the solo thread is inside a fast-path critical section.
 /// Padded: sits on a line written only by the solo thread, so registering
@@ -91,7 +91,7 @@ pub(crate) fn registration_barrier() {
     // *ending* Release clear, which is equally safe). Registration is
     // once per thread lifetime, so the cost is irrelevant.
     while SOLO_INFLIGHT.load(Ordering::SeqCst) != 0 {
-        std::hint::spin_loop();
+        crate::sync::spin_loop();
     }
 }
 

@@ -13,8 +13,8 @@
 //! also releases the id, guaranteeing the required ordering.
 
 use crate::pad::CachePadded;
+use crate::sync::{AtomicBool, AtomicUsize, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Maximum number of concurrently registered threads.
 ///
@@ -80,6 +80,13 @@ pub fn thread_is_exiting() -> bool {
 }
 
 fn claim() -> u16 {
+    // Under the model checker, make sure model threads drain their lfc
+    // thread-local state (hazard retire lists, allocator magazines, this
+    // id) while still scheduled, instead of from TLS destructors the
+    // scheduler cannot see. Registered here because any thread with lfc
+    // state to tear down claimed an id first.
+    #[cfg(lfc_model)]
+    lfc_model::rt::register_thread_epilogue(detach_thread);
     for (i, flag) in CLAIMED.iter().enumerate() {
         if !flag.load(Ordering::Relaxed)
             && flag
@@ -154,6 +161,22 @@ pub fn on_thread_exit(hook: Box<dyn FnOnce()>) {
 /// One past the largest thread id ever claimed by this process.
 pub fn registered_high_water() -> usize {
     HIGH_WATER.load(Ordering::Relaxed)
+}
+
+/// Run the current thread's exit hooks and release its id *now*, exactly
+/// as the thread-exit destructor would, leaving the thread free to
+/// re-register later. The model checker's thread epilogue: teardown work
+/// (hazard scans, magazine flushes) performs instrumented operations, so
+/// it must run while the model scheduler still tracks the thread — TLS
+/// destructors run too late. Safe to call on any thread at any quiescent
+/// point (no lfc operation may be in flight); a no-op for unregistered
+/// threads.
+pub fn detach_thread() {
+    let slot = SLOT.try_with(|s| s.borrow_mut().take()).unwrap_or(None);
+    drop(slot); // ThreadSlot::drop runs the hooks and releases the id.
+                // ThreadSlot::drop leaves the exiting flag set (real exits never come
+                // back); an explicitly detached thread may re-register.
+    let _ = EXITING.try_with(|c| c.set(false));
 }
 
 #[cfg(test)]

@@ -16,6 +16,9 @@
 
 mod node;
 
+#[doc(hidden)]
+pub mod sync;
+
 pub mod hash_map;
 pub mod locked;
 pub mod ms_queue;

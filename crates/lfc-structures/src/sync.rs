@@ -1,0 +1,7 @@
+//! Crate-local virtual-atomics facade: re-exports
+//! [`lfc_runtime::sync`] (see there). The structures' shared words are
+//! [`lfc_dcas::DAtomic`]s, which are already instrumented through
+//! `lfc-dcas`'s facade; any *direct* atomic a future structure needs must
+//! come from here, never from `std`.
+
+pub use lfc_runtime::sync::*;

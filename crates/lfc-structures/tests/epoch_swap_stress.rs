@@ -1,0 +1,156 @@
+//! Conservation stress for the *composed* operations under forced epoch
+//! advances — the companion to `epoch_stress.rs` for `swap` and
+//! `move_keyed_to_all` (ISSUE 4 satellite): while worker threads run
+//! swaps between two queues and keyed broadcasts from an ordered set into
+//! two hash maps, an adversary thread forces global-epoch advances and
+//! reclamation scans, so records are tagged and freed across generation
+//! boundaries mid-operation. The item-count invariant is checked after
+//! **every round**: swaps conserve the total across the queue pair;
+//! a keyed broadcast consumes one source key and produces one clone per
+//! target, atomically — a key is either still in the source or in *all*
+//! targets.
+
+use lfc_core::{move_keyed_to_all, swap, MoveOutcome, SwapOutcome};
+use lfc_structures::{LfHashMap, MsQueue, OrderedSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const ROUNDS: usize = 20;
+const SWAPS_PER_ROUND: usize = 400;
+const KEYS_PER_ROUND: u64 = 64;
+
+#[test]
+#[ignore = "stress: run with --release -- --ignored stress"]
+fn stress_swap_conserves_under_forced_epoch_advances() {
+    let a: MsQueue<u64> = MsQueue::new();
+    let b: MsQueue<u64> = MsQueue::new();
+    const TOTAL: usize = 32;
+    for i in 0..TOTAL as u64 {
+        if i % 2 == 0 {
+            a.enqueue(i);
+        } else {
+            b.enqueue(i);
+        }
+    }
+    for round in 0..ROUNDS {
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            // The adversary: advance the epoch and scan as fast as
+            // possible, so retire tags race operation entries. Exits once
+            // both workers report done.
+            let done_ref = &done;
+            sc.spawn(move || {
+                while done_ref.load(Ordering::Relaxed) < 2 {
+                    lfc_hazard::advance_epoch();
+                    lfc_hazard::flush();
+                    std::thread::yield_now();
+                }
+            });
+            for t in 0..2 {
+                let (a, b) = (&a, &b);
+                let done_ref = &done;
+                sc.spawn(move || {
+                    for i in 0..SWAPS_PER_ROUND {
+                        let r = if (i + t) % 2 == 0 {
+                            swap(a, b)
+                        } else {
+                            swap(b, a)
+                        };
+                        assert!(
+                            matches!(
+                                r,
+                                SwapOutcome::Swapped
+                                    | SwapOutcome::FirstEmpty
+                                    | SwapOutcome::SecondEmpty
+                            ),
+                            "unbounded distinct queues cannot reject/alias: {r:?}"
+                        );
+                    }
+                    done_ref.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // Item-count invariant after every round: swaps move elements
+        // between the queues but never create or destroy them.
+        let count = |q: &MsQueue<u64>| {
+            let mut n = 0;
+            let mut held = Vec::new();
+            while let Some(v) = q.dequeue() {
+                n += 1;
+                held.push(v);
+            }
+            for v in held {
+                q.enqueue(v);
+            }
+            n
+        };
+        let total = count(&a) + count(&b);
+        assert_eq!(
+            total, TOTAL,
+            "round {round}: swap leaked or duplicated elements"
+        );
+    }
+}
+
+#[test]
+#[ignore = "stress: run with --release -- --ignored stress"]
+fn stress_keyed_broadcast_conserves_under_forced_epoch_advances() {
+    for round in 0..ROUNDS {
+        let src: OrderedSet<u64, u64> = OrderedSet::new();
+        let d1: LfHashMap<u64, u64> = LfHashMap::with_buckets(8);
+        let d2: LfHashMap<u64, u64> = LfHashMap::with_buckets(8);
+        for k in 0..KEYS_PER_ROUND {
+            src.insert(k, k * 10);
+        }
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            let done_ref = &done;
+            sc.spawn(move || {
+                while done_ref.load(Ordering::Relaxed) < 2 {
+                    lfc_hazard::advance_epoch();
+                    lfc_hazard::flush();
+                    std::thread::yield_now();
+                }
+            });
+            for t in 0..2u64 {
+                let (src, d1, d2) = (&src, &d1, &d2);
+                let done_ref = &done;
+                sc.spawn(move || {
+                    for k in 0..KEYS_PER_ROUND {
+                        let key = (k + t * 31) % KEYS_PER_ROUND;
+                        match move_keyed_to_all(src, &key, &[d1, d2]) {
+                            MoveOutcome::Moved => {
+                                // The broadcast is atomic: the key must be
+                                // in BOTH targets now (nobody removes).
+                                assert!(
+                                    d1.contains(&key) && d2.contains(&key),
+                                    "round {round}: key {key} in a strict subset of targets"
+                                );
+                            }
+                            MoveOutcome::SourceEmpty
+                            | MoveOutcome::TargetRejected
+                            | MoveOutcome::WouldAlias => {}
+                        }
+                    }
+                    done_ref.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // Item-count invariant after the round: each of the KEYS keys was
+        // broadcast exactly once (two movers raced, one per key wins) —
+        // every key left the source and is present in both targets.
+        for k in 0..KEYS_PER_ROUND {
+            assert!(
+                !src.contains(&k),
+                "round {round}: key {k} still in source after broadcast round"
+            );
+            assert!(
+                d1.contains(&k) && d2.contains(&k),
+                "round {round}: key {k} missing from a target (torn broadcast)"
+            );
+        }
+        assert_eq!(d1.count(), KEYS_PER_ROUND as usize, "round {round}");
+        assert_eq!(d2.count(), KEYS_PER_ROUND as usize, "round {round}");
+    }
+    // Everything retired during the rounds must eventually reclaim.
+    lfc_hazard::flush();
+}

@@ -58,8 +58,8 @@ pub mod alloc_stats {
 /// it is generally useful for validating composed histories).
 pub mod linear {
     pub use lfc_linear::{
-        check_linearizable, CheckResult, Cont, Entry, KeyedMoveResult, KeyedPairOp, KeyedPairSpec,
-        PairOp, PairSpec, QueueOp, QueueSpec, Recorder, Spec, StackOp, StackSpec, SwapResult,
-        TrioOp, TrioSpec,
+        check_linearizable, render_history, CheckResult, Cont, Entry, KeyedMoveResult, KeyedPairOp,
+        KeyedPairSpec, MapOp, MapSpec, PairOp, PairSpec, QueueOp, QueueSpec, Recorder, SlotOp,
+        SlotSpec, Spec, StackOp, StackSpec, SwapResult, TrioOp, TrioSpec,
     };
 }

@@ -8,7 +8,8 @@
 
 use lfc_runtime::SmallRng;
 use lockfree_compose::linear::{
-    check_linearizable, Cont, PairOp, PairSpec, Recorder, SwapResult, TrioOp, TrioSpec,
+    check_linearizable, render_history, Cont, PairOp, PairSpec, Recorder, SwapResult, TrioOp,
+    TrioSpec,
 };
 use lockfree_compose::{
     move_one, move_to_all, swap, MoveOutcome, MsQueue, SwapOutcome, TreiberStack,
@@ -86,7 +87,8 @@ fn recorded_queue_stack_histories_are_linearizable() {
         let verdict = check_linearizable(&spec, &h);
         assert!(
             verdict.is_linearizable(),
-            "round {round}: recorded history not linearizable: {h:?}"
+            "round {round}: recorded history not linearizable:\n{}",
+            render_history(&h)
         );
     }
 }
@@ -133,7 +135,8 @@ fn recorded_move_only_histories_are_linearizable() {
         let verdict = check_linearizable(&spec, &h);
         assert!(
             verdict.is_linearizable(),
-            "round {round}: move-only history not linearizable: {h:?}"
+            "round {round}: move-only history not linearizable:\n{}",
+            render_history(&h)
         );
     }
 }
@@ -204,7 +207,8 @@ fn recorded_swap_histories_are_linearizable() {
         let verdict = check_linearizable(&spec, &h);
         assert!(
             verdict.is_linearizable(),
-            "round {round}: swap history not linearizable: {h:?}"
+            "round {round}: swap history not linearizable:\n{}",
+            render_history(&h)
         );
     }
 }
@@ -263,7 +267,8 @@ fn recorded_broadcast_histories_are_linearizable() {
         let verdict = check_linearizable(&spec, &h);
         assert!(
             verdict.is_linearizable(),
-            "round {round}: broadcast history not linearizable: {h:?}"
+            "round {round}: broadcast history not linearizable:\n{}",
+            render_history(&h)
         );
     }
 }
@@ -329,7 +334,196 @@ fn recorded_keyed_map_list_histories_are_linearizable() {
         let verdict = check_linearizable(&KeyedPairSpec, &h);
         assert!(
             verdict.is_linearizable(),
-            "round {round}: keyed history not linearizable: {h:?}"
+            "round {round}: keyed history not linearizable:\n{}",
+            render_history(&h)
+        );
+    }
+}
+
+#[test]
+fn recorded_hash_map_histories_are_linearizable() {
+    // LfHashMap alone under its own sequential spec: concurrent
+    // insert-if-absent, remove and get on a tiny key space, small bucket
+    // count so keys collide inside one ordered bucket list.
+    use lockfree_compose::linear::{MapOp, MapSpec};
+    use lockfree_compose::LfHashMap;
+
+    for round in 0..30u64 {
+        let map: LfHashMap<u32, u32> = LfHashMap::with_buckets(2);
+        let rec: Recorder<MapOp> = Recorder::new();
+        std::thread::scope(|sc| {
+            for t in 0..3u64 {
+                let (map, rec) = (&map, &rec);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x4A5B + round * 29 + t);
+                    for i in 0..8u32 {
+                        let k = rng.below(4) as u32;
+                        match rng.below(4) {
+                            0 | 1 => {
+                                let v = (t as u32) * 100 + i;
+                                rec.record(|| MapOp::Insert(k, v, map.insert(k, v)));
+                            }
+                            2 => {
+                                rec.record(|| MapOp::Remove(k, map.remove(&k)));
+                            }
+                            _ => {
+                                rec.record(|| MapOp::Get(k, map.get(&k)));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let h = rec.finish();
+        let verdict = check_linearizable(&MapSpec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: hash-map history not linearizable:\n{}",
+            render_history(&h)
+        );
+    }
+}
+
+#[test]
+fn recorded_one_slot_histories_are_linearizable() {
+    // OneSlot under its own spec: the bounded container whose rejected
+    // puts must still linearize at a moment the slot is observably full.
+    use lockfree_compose::linear::{SlotOp, SlotSpec};
+    use lockfree_compose::OneSlot;
+
+    for round in 0..30u64 {
+        let slot: OneSlot<u32> = OneSlot::new();
+        let rec: Recorder<SlotOp> = Recorder::new();
+        std::thread::scope(|sc| {
+            for t in 0..3u64 {
+                let (slot, rec) = (&slot, &rec);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x5107 + round * 23 + t);
+                    for i in 0..8u32 {
+                        match rng.below(3) {
+                            0 => {
+                                let v = (t as u32) * 100 + i + 1;
+                                rec.record(|| SlotOp::Put(v, slot.put(v)));
+                            }
+                            1 => {
+                                rec.record(|| SlotOp::Take(slot.take()));
+                            }
+                            _ => {
+                                rec.record(|| SlotOp::Peek(slot.peek()));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let h = rec.finish();
+        let verdict = check_linearizable(&SlotSpec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: one-slot history not linearizable:\n{}",
+            render_history(&h)
+        );
+    }
+}
+
+#[test]
+fn recorded_stamped_stack_histories_are_linearizable() {
+    // StampedStack is a LIFO stack whose top carries a version stamp; the
+    // stamp must be invisible in the history: plain StackSpec semantics,
+    // including under composed moves onto a queue.
+    use lockfree_compose::linear::{StackOp, StackSpec};
+    use lockfree_compose::StampedStack;
+
+    for round in 0..30u64 {
+        let s: StampedStack<u32> = StampedStack::new();
+        let rec: Recorder<StackOp> = Recorder::new();
+        std::thread::scope(|sc| {
+            for t in 0..3u64 {
+                let (s, rec) = (&s, &rec);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x57A4 + round * 19 + t);
+                    for i in 0..8u32 {
+                        if rng.below(2) == 0 {
+                            let v = (t as u32) * 100 + i + 1;
+                            rec.record(|| {
+                                s.push(v);
+                                StackOp::Push(v)
+                            });
+                        } else {
+                            rec.record(|| StackOp::Pop(s.pop()));
+                        }
+                    }
+                });
+            }
+        });
+        let h = rec.finish();
+        let verdict = check_linearizable(&StackSpec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: stamped-stack history not linearizable:\n{}",
+            render_history(&h)
+        );
+    }
+}
+
+#[test]
+fn recorded_stamped_move_histories_are_linearizable() {
+    // Composed moves between a StampedStack (A, LIFO) and an MsQueue (B,
+    // FIFO): the stamp packing must not break the unified linearization
+    // point.
+    let spec = PairSpec {
+        a: Cont::Lifo,
+        b: Cont::Fifo,
+    };
+    for round in 0..20u64 {
+        let s: lockfree_compose::StampedStack<u32> = lockfree_compose::StampedStack::new();
+        let q: MsQueue<u32> = MsQueue::new();
+        let rec: Recorder<PairOp> = Recorder::new();
+        let next_val = AtomicU32::new(1);
+        std::thread::scope(|sc| {
+            for t in 0..3u64 {
+                let (s, q, rec, next_val) = (&s, &q, &rec, &next_val);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x57A5 + round * 37 + t);
+                    for _ in 0..8 {
+                        match rng.below(6) {
+                            0 => {
+                                let v = next_val.fetch_add(1, Ordering::Relaxed);
+                                rec.record(|| {
+                                    s.push(v);
+                                    PairOp::InsA(v)
+                                });
+                            }
+                            1 => {
+                                let v = next_val.fetch_add(1, Ordering::Relaxed);
+                                rec.record(|| {
+                                    q.enqueue(v);
+                                    PairOp::InsB(v)
+                                });
+                            }
+                            2 => {
+                                rec.record(|| PairOp::RemA(s.pop()));
+                            }
+                            3 => {
+                                rec.record(|| PairOp::RemB(q.dequeue()));
+                            }
+                            4 => {
+                                rec.record(|| PairOp::MoveAB(move_one(s, q) == MoveOutcome::Moved));
+                            }
+                            _ => {
+                                rec.record(|| PairOp::MoveBA(move_one(q, s) == MoveOutcome::Moved));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let h = rec.finish();
+        let verdict = check_linearizable(&spec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: stamped-stack move history not linearizable:\n{}",
+            render_history(&h)
         );
     }
 }
