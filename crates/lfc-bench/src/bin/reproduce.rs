@@ -139,6 +139,7 @@ fn run_bench_capture(args: &[String]) {
     results.extend(micro::dcas());
     results.extend(micro::multi());
     results.extend(micro::traverse());
+    results.extend(micro::hashmap_scaling());
 
     let mut json = String::new();
     json.push_str(&format!(

@@ -259,6 +259,76 @@ pub fn traverse() -> Vec<Measurement> {
     out
 }
 
+/// Experiment HASH (tracked since PR 5): hash-map latency across load
+/// factors. Each map is built with a bucket *hint* of `items / lf` — under
+/// the fixed-bucket baseline that pins the chain length to `lf`; under the
+/// split-ordered table (PR 5) the directory doubles as the items arrive
+/// and the chain length stays bounded by the resize threshold regardless
+/// of the hint. Flat medians across `lf1`/`lf8`/`lf64` are the acceptance
+/// signal of the incremental resize.
+pub fn hashmap_scaling() -> Vec<Measurement> {
+    const ITEMS: u64 = 1024;
+    let mut out = Vec::new();
+    for lf in [1usize, 8, 64] {
+        let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(ITEMS as usize / lf);
+        for k in 0..ITEMS {
+            m.insert(k * 2, k);
+        }
+        // Hit the largest resident key and miss its odd neighbour, as in
+        // `traverse/hashmap_get`: both lookups walk a full chain.
+        let hit = (ITEMS - 1) * 2;
+        let miss = hit + 1;
+        out.push(bench(&format!("hashmap_get/lf{lf}"), || {
+            assert!(m.get(black_box(&hit)).is_some());
+            assert!(m.get(black_box(&miss)).is_none());
+        }));
+        let key = ITEMS * 2 + 1; // odd: never resident between iterations
+        out.push(bench(&format!("hashmap_insert_remove/lf{lf}"), || {
+            assert!(m.insert(black_box(key), 1));
+            assert_eq!(m.remove(black_box(&key)), Some(1));
+        }));
+    }
+    out.push(hashmap_growth());
+    out
+}
+
+/// The growth workload: amortized per-insert cost of filling a map that
+/// was constructed with a 64-bucket hint with 100k keys. The fixed-bucket
+/// baseline degrades quadratically (every insert walks its ever-longer
+/// chain); the split-ordered table doubles its directory as it fills and
+/// stays near-flat. Measured manually (median of whole-fill rounds) —
+/// the harness's batch calibration cannot express an operation whose cost
+/// depends on how many came before it.
+pub fn hashmap_growth() -> Measurement {
+    const KEYS: u64 = 100_000;
+    const ROUNDS: usize = 7;
+    let mut ns: Vec<f64> = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(64);
+        let t = std::time::Instant::now();
+        for k in 0..KEYS {
+            assert!(m.insert(k, k));
+        }
+        ns.push(t.elapsed().as_nanos() as f64 / KEYS as f64);
+        drop(m);
+        // Drain the 100k retired nodes so teardown from one round cannot
+        // bleed scan work into the next round's timed region.
+        lfc_hazard::flush();
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if ns.len() % 2 == 1 {
+        ns[ns.len() / 2]
+    } else {
+        (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2.0
+    };
+    Measurement {
+        name: "hashmap_growth/insert_100k_from_64".to_string(),
+        median_ns: median,
+        min_ns: ns[0],
+        max_ns: ns[ns.len() - 1],
+    }
+}
+
 /// Contended composed move: two threads moving opposite directions between
 /// a shared pair of stacks (the paper's hardest case, §7).
 pub fn move_contended() -> Measurement {

@@ -10,6 +10,21 @@
 //! keyed traits also power [`crate::move_keyed_to_all`],
 //! [`crate::move_keyed_to_unkeyed`] and keyed [`crate::Composition`]
 //! stages.
+//!
+//! # Captures versus internal restructuring (PR 5)
+//!
+//! A keyed object may run *structural* CASes that are not linearization
+//! points — the split-ordered hash map lazily threads bucket dummies into
+//! the very chains its operations traverse while its directory grows.
+//! That composes with captures by construction: a capture's entry is
+//! CAS-validated at commit (a structural write to the captured word fails
+//! the commit and re-runs exactly the owning stage's init phase, which
+//! re-locates under the new shape), and the structural nodes themselves
+//! are never the *subject* of a `LinPoint` — only, at most, hosts of a
+//! predecessor word pinned via `LinPoint::hp`. Keyed implementations must
+//! preserve both halves of that contract: linearization points only on
+//! semantically meaningful words, and every `scas` retry re-running the
+//! locate phase from scratch.
 
 use crate::{compose, InsertCtx, InsertOutcome, MoveOutcome, RemoveCtx, RemoveOutcome};
 

@@ -203,6 +203,9 @@ static GLOBAL_EPOCH: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::ne
 static RETIRED_TOTAL: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
 /// Total retired allocations whose reclaimer has run. Padded as above.
 static RECLAIMED_TOTAL: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+/// Total reclamation scans run (diagnostics; the adaptive-threshold test
+/// asserts scan counts stay logarithmic under pinned retire bursts).
+static SCANS_TOTAL: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
 
 /// Tag of a retired record no scan has seen yet. Tagging happens on the
 /// *scan* side (after the scan's SC fence), not at retire time, so the hot
@@ -281,6 +284,18 @@ fn orphans_adopt(list: &mut Vec<Retired>) {
 
 struct ThreadReclaim {
     pending: Vec<Retired>,
+    /// Pending-list length that re-arms the next threshold scan: the max of
+    /// the base threshold and **twice the survivors of the last scan**,
+    /// retention-capped (adaptive, PR 5; see [`rearm_scan`]). A fixed
+    /// trigger is pathological under retire bursts whose records stay
+    /// pinned (a resize/teardown retiring thousands of dummies and
+    /// segments while a reader's epoch parks them): every `base` retires
+    /// would pay a full O(pending) scan, O(pending²/base) in total.
+    /// Re-arming at 2× the surviving count makes consecutive scans
+    /// geometric in the live retired-record count — amortized O(1) scan
+    /// work per retire — while an empty survivor set falls back to the
+    /// base threshold unchanged.
+    next_scan: usize,
 }
 
 thread_local! {
@@ -293,6 +308,7 @@ fn with_reclaim<R>(f: impl FnOnce(&mut ThreadReclaim) -> R) -> R {
         if p.is_null() {
             p = Box::into_raw(Box::new(ThreadReclaim {
                 pending: Vec::new(),
+                next_scan: 0,
             }));
             cell.set(p);
             // Tear down *before* the thread id is released (lfc-runtime runs
@@ -575,14 +591,33 @@ pub unsafe fn retire(ptr: *mut u8, reclaim: unsafe fn(*mut u8)) {
             reclaim,
             epoch: UNTAGGED,
         });
-        if tr.pending.len() >= scan_threshold() {
+        if tr.pending.len() >= tr.next_scan.max(scan_threshold()) {
             scan_list(&mut tr.pending);
+            tr.next_scan = rearm_scan(tr.pending.len());
         }
     });
 }
 
 fn scan_threshold() -> usize {
     (2 * SLOTS_PER_THREAD * registered_high_water().max(1)).max(128)
+}
+
+/// Adaptive re-arm after a scan (see [`ThreadReclaim::next_scan`]): the
+/// next scan triggers once the pending list doubles past the records this
+/// scan could not free — capped at a multiple of the base threshold, so a
+/// one-time pinned burst cannot permanently raise the trigger: once the
+/// pin clears, at most `RETENTION_CAP` further retires pass before a scan
+/// drains the (now freeable) backlog, instead of waiting for pending to
+/// double past the burst size. Above the cap, scan cost degrades from
+/// amortized O(1) to O(pending / RETENTION_CAP) per retire — the price of
+/// bounded retention, paid only while something pins an extreme backlog.
+/// Performance-only either way: scan *frequency* never enters the freeing
+/// proof — every scan re-derives all protection from its own SC fence and
+/// sweeps.
+fn rearm_scan(survivors: usize) -> usize {
+    const RETENTION_CAP_FACTOR: usize = 32;
+    let cap = survivors + RETENTION_CAP_FACTOR * scan_threshold();
+    survivors.saturating_mul(2).min(cap)
 }
 
 /// A consistent snapshot of everything currently protecting retired memory:
@@ -704,6 +739,7 @@ fn collect_protection() -> Protection {
 /// `ENTRY*`/`HELP*`/`DESC` pin from an in-flight composition keeps a block
 /// alive even after all epochs quiesce).
 fn scan_list(list: &mut Vec<Retired>) {
+    SCANS_TOTAL.fetch_add(1, Ordering::Relaxed);
     // Adopt orphans so abandoned garbage cannot accumulate forever.
     orphans_adopt(list);
     let p = collect_protection();
@@ -743,7 +779,10 @@ pub fn flush() {
         orphans_push(list);
         return;
     }
-    with_reclaim(|tr| scan_list(&mut tr.pending));
+    with_reclaim(|tr| {
+        scan_list(&mut tr.pending);
+        tr.next_scan = rearm_scan(tr.pending.len());
+    });
 }
 
 /// Number of retired-but-not-yet-reclaimed allocations (process-wide).
@@ -751,6 +790,11 @@ pub fn pending_retired() -> usize {
     RETIRED_TOTAL
         .load(Ordering::Relaxed)
         .saturating_sub(RECLAIMED_TOTAL.load(Ordering::Relaxed))
+}
+
+/// Number of reclamation scans run since process start (diagnostics).
+pub fn scan_count() -> usize {
+    SCANS_TOTAL.load(Ordering::Relaxed)
 }
 
 /// (retired, reclaimed) totals since process start.

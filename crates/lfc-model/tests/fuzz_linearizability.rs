@@ -14,14 +14,14 @@
 //! Requires `RUSTFLAGS="--cfg lfc_model"`; compiles to nothing otherwise.
 #![cfg(lfc_model)]
 
-use lfc_core::{move_one, move_to_all, swap, MoveOutcome, SwapOutcome};
+use lfc_core::{move_keyed, move_one, move_to_all, swap, MoveOutcome, SwapOutcome};
 use lfc_linear::{
-    check_linearizable, render_history, Cont, PairOp, PairSpec, Recorder, SwapResult, TrioOp,
-    TrioSpec,
+    check_linearizable, render_history, Cont, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp,
+    PairSpec, Recorder, SwapResult, TrioOp, TrioSpec,
 };
 use lfc_model::{explore_random, FuzzOpts, MemoryMode};
 use lfc_runtime::SmallRng;
-use lfc_structures::{MsQueue, OneSlot, StampedStack, TreiberStack};
+use lfc_structures::{LfHashMap, MsQueue, OneSlot, StampedStack, TreiberStack};
 use std::sync::Arc;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -403,6 +403,148 @@ fn fuzz_stamped_one_slot_moves() {
         );
         if let Some(f) = &report.failure {
             panic!("fuzz family stamped/one-slot, workload {w} (re-run with LFC_FUZZ_SEED={base}): {f}");
+        }
+    }
+}
+
+#[test]
+fn fuzz_keyed_map_resize() {
+    // The PR 5 resize fuzz plan: keyed insert/remove/move_keyed between
+    // two split-ordered hash maps that start at ONE bucket, with forced
+    // directory doublings mixed into the plans. Growth threads bucket
+    // dummies into the very chains the keyed operations (and composed
+    // captures) are traversing; every recorded history must still satisfy
+    // the keyed pair spec — resize is semantically invisible.
+    #[derive(Clone, Copy, Debug)]
+    enum ResizeOp {
+        InsA(u32),
+        InsB(u32),
+        RemA(u32),
+        RemB(u32),
+        MoveAB(u32),
+        MoveBA(u32),
+        /// Forced doubling (unrecorded: no observable map state changes).
+        GrowA,
+        GrowB,
+    }
+
+    fn mv_result(o: MoveOutcome) -> KeyedMoveResult {
+        match o {
+            MoveOutcome::Moved => KeyedMoveResult::Moved,
+            MoveOutcome::SourceEmpty => KeyedMoveResult::Absent,
+            MoveOutcome::TargetRejected => KeyedMoveResult::Duplicate,
+            MoveOutcome::WouldAlias => unreachable!("distinct containers"),
+        }
+    }
+
+    let (seeds, execs, base) = budget();
+    for w in 0..seeds {
+        let mut rng = SmallRng::seed_from_u64(base.wrapping_add(w).wrapping_mul(0x5EED5));
+        // Tiny key space so operations genuinely conflict inside one chain
+        // before growth and across split chains after it.
+        let plans: Vec<Vec<ResizeOp>> = (0..2)
+            .map(|_| {
+                (0..5)
+                    .map(|_| {
+                        let k = rng.below(4) as u32;
+                        match rng.below(8) {
+                            0 => ResizeOp::InsA(k),
+                            1 => ResizeOp::InsB(k),
+                            2 => ResizeOp::RemA(k),
+                            3 => ResizeOp::RemB(k),
+                            4 => ResizeOp::MoveAB(k),
+                            5 => ResizeOp::MoveBA(k),
+                            6 => ResizeOp::GrowA,
+                            _ => ResizeOp::GrowB,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let plans = Arc::new(plans);
+        let report = explore_random(
+            FuzzOpts {
+                seed: base ^ (0xD00 + w),
+                executions: execs,
+                step_budget: 200_000,
+                memory: MemoryMode::Interleaving,
+            },
+            {
+                let plans = plans.clone();
+                move || {
+                    let a = Arc::new(LfHashMap::<u32, u32>::with_buckets(1));
+                    let b = Arc::new(LfHashMap::<u32, u32>::with_buckets(1));
+                    let rec = Arc::new(Recorder::<KeyedPairOp>::new());
+                    let handles: Vec<_> = plans
+                        .iter()
+                        .cloned()
+                        .map(|ops| {
+                            let (a, b, rec) = (a.clone(), b.clone(), rec.clone());
+                            lfc_model::thread::spawn(move || {
+                                for op in ops {
+                                    match op {
+                                        ResizeOp::InsA(k) => {
+                                            rec.record(|| KeyedPairOp::InsA(k, a.insert(k, k)));
+                                        }
+                                        ResizeOp::InsB(k) => {
+                                            rec.record(|| KeyedPairOp::InsB(k, b.insert(k, k)));
+                                        }
+                                        ResizeOp::RemA(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::RemA(k, a.remove(&k).is_some())
+                                            });
+                                        }
+                                        ResizeOp::RemB(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::RemB(k, b.remove(&k).is_some())
+                                            });
+                                        }
+                                        ResizeOp::MoveAB(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::MoveAB(
+                                                    k,
+                                                    mv_result(move_keyed(&*a, &k, &*b)),
+                                                )
+                                            });
+                                        }
+                                        ResizeOp::MoveBA(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::MoveBA(
+                                                    k,
+                                                    mv_result(move_keyed(&*b, &k, &*a)),
+                                                )
+                                            });
+                                        }
+                                        ResizeOp::GrowA => {
+                                            a.force_grow();
+                                        }
+                                        ResizeOp::GrowB => {
+                                            b.force_grow();
+                                        }
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join();
+                    }
+                    let rec =
+                        Arc::try_unwrap(rec).unwrap_or_else(|_| panic!("sole recorder owner"));
+                    let h = rec.finish();
+                    let verdict = check_linearizable(&KeyedPairSpec, &h);
+                    assert!(
+                        verdict.is_linearizable(),
+                        "non-linearizable keyed history under resize:\n{}",
+                        render_history(&h)
+                    );
+                }
+            },
+        );
+        if let Some(f) = &report.failure {
+            panic!(
+                "fuzz family keyed map resize, workload {w} (re-run with LFC_FUZZ_SEED={base}): {f}"
+            );
         }
     }
 }

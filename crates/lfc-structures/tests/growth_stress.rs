@@ -1,0 +1,124 @@
+//! Conservation stress for the split-ordered hash map's incremental
+//! resize (PR 5): worker threads churn keyed inserts/removes and composed
+//! keyed moves between two maps that start at ONE bucket, while an
+//! adversary thread forces directory doublings, global-epoch advances and
+//! reclamation scans — so bucket dummies are threaded into chains that
+//! are concurrently traversed, captured by composed moves, and swept by
+//! tagging scans. Invariants checked per round: the insert/remove/move
+//! balance equals the observable occupancy of each map (a move that
+//! reported `Moved` debited its source and credited its target exactly
+//! once — a torn or duplicated move diverges one of the balances), and
+//! every resident key holds its exact value. (A key *may* legitimately be
+//! in both maps at once: a fresh insert into A races a copy parked in B
+//! by an earlier move — the maps are independent sets.)
+
+use lfc_core::{move_keyed, MoveOutcome};
+use lfc_structures::LfHashMap;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+const ROUNDS: usize = 8;
+const OPS_PER_THREAD: usize = 25_000;
+const WORKERS: u64 = 4;
+const KEY_SPACE: u64 = 256;
+
+#[test]
+#[ignore = "stress: run with --release -- --ignored stress"]
+fn stress_growth_under_churn_conserves_keys() {
+    let a: LfHashMap<u64, u64> = LfHashMap::with_buckets(1);
+    let b: LfHashMap<u64, u64> = LfHashMap::with_buckets(1);
+    // balance = inserts that won − removes that won, per map (moves are a
+    // −1/+1 pair applied atomically, so they cancel across the pair).
+    let bal_a = AtomicI64::new(0);
+    let bal_b = AtomicI64::new(0);
+
+    for round in 0..ROUNDS {
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            let done_ref = &done;
+            let (a, b) = (&a, &b);
+            // The adversary: force doublings (until the heuristic takes
+            // over), epoch advances and scans while the workers run.
+            sc.spawn(move || {
+                while done_ref.load(Ordering::Acquire) < WORKERS as usize {
+                    // Bounded: every doubling lazily materializes directory
+                    // segments proportional to the touched bucket range, so
+                    // an unbounded force-grow loop would balloon the
+                    // directory far past what any item count justifies.
+                    if a.capacity() < 4096 {
+                        a.force_grow();
+                    }
+                    if b.capacity() < 4096 {
+                        b.force_grow();
+                    }
+                    lfc_hazard::advance_epoch();
+                    lfc_hazard::flush();
+                    std::thread::yield_now();
+                }
+            });
+            for t in 0..WORKERS {
+                let (bal_a, bal_b) = (&bal_a, &bal_b);
+                let done_ref = &done;
+                sc.spawn(move || {
+                    let mut rng =
+                        lfc_runtime::SmallRng::seed_from_u64(0x9807 + round as u64 * 131 + t * 17);
+                    for _ in 0..OPS_PER_THREAD {
+                        let k = rng.below(KEY_SPACE);
+                        match rng.below(6) {
+                            0 | 1 => {
+                                if a.insert(k, k * 7) {
+                                    bal_a.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            2 => {
+                                if a.remove(&k).is_some() {
+                                    bal_a.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                            3 => {
+                                if b.remove(&k).is_some() {
+                                    bal_b.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                            4 => {
+                                if move_keyed(a, &k, b) == MoveOutcome::Moved {
+                                    bal_a.fetch_sub(1, Ordering::Relaxed);
+                                    bal_b.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            _ => {
+                                if move_keyed(b, &k, a) == MoveOutcome::Moved {
+                                    bal_b.fetch_sub(1, Ordering::Relaxed);
+                                    bal_a.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    done_ref.fetch_add(1, Ordering::Release);
+                });
+            }
+        });
+
+        // Quiescent checks after every round.
+        assert_eq!(
+            bal_a.load(Ordering::Relaxed),
+            a.count() as i64,
+            "round {round}: map A occupancy diverged from its op balance"
+        );
+        assert_eq!(
+            bal_b.load(Ordering::Relaxed),
+            b.count() as i64,
+            "round {round}: map B occupancy diverged from its op balance"
+        );
+        for k in 0..KEY_SPACE {
+            for v in [a.get(&k), b.get(&k)].into_iter().flatten() {
+                assert_eq!(v, k * 7, "round {round}: key {k} lost its value");
+            }
+        }
+    }
+    assert!(
+        a.capacity() > 1 && b.capacity() > 1,
+        "the stress must actually have grown the directories (a: {}, b: {})",
+        a.capacity(),
+        b.capacity()
+    );
+}

@@ -1,0 +1,77 @@
+//! Flat-latency growth (PR 5): a split-ordered hash map starts tiny and
+//! doubles its bucket directory incrementally — one CAS, no stop-the-world
+//! rehash — while writers keep inserting and composed keyed broadcasts
+//! keep firing across the resize boundaries.
+//!
+//! ```sh
+//! cargo run --release --example hashmap_growth
+//! ```
+
+use lockfree_compose::{move_keyed_to_all, LfHashMap, MoveOutcome};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn main() {
+    // A session registry that starts at a single bucket: every doubling it
+    // ever needs happens lazily, paid for by the operations that touch the
+    // growing buckets — no insert ever waits for a rehash.
+    let registry: LfHashMap<u64, String> = LfHashMap::with_buckets(1);
+    // Two replica maps fed by atomic keyed broadcasts mid-growth.
+    let replica_a: LfHashMap<u64, String> = LfHashMap::with_buckets(1);
+    let replica_b: LfHashMap<u64, String> = LfHashMap::with_buckets(1);
+
+    const WRITERS: u64 = 4;
+    const KEYS_PER_WRITER: u64 = 5_000;
+    let broadcasts = AtomicUsize::new(0);
+
+    std::thread::scope(|sc| {
+        // Writers flood disjoint key ranges while the directory doubles
+        // underneath them.
+        for w in 0..WRITERS {
+            let registry = &registry;
+            sc.spawn(move || {
+                for i in 0..KEYS_PER_WRITER {
+                    let id = w * KEYS_PER_WRITER + i;
+                    assert!(registry.insert(id, format!("session-{id}")));
+                }
+            });
+        }
+        // A replicator: atomically take a session out of the registry and
+        // deliver it to BOTH replicas at one linearization point — while
+        // all three maps are resizing. No observer can ever see a session
+        // in the registry and a replica at once, or in one replica only.
+        let (registry, ra, rb) = (&registry, &replica_a, &replica_b);
+        let broadcasts = &broadcasts;
+        sc.spawn(move || {
+            for id in 0..WRITERS * KEYS_PER_WRITER {
+                if move_keyed_to_all(registry, &id, &[ra, rb]) == MoveOutcome::Moved {
+                    broadcasts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+
+    let moved = broadcasts.load(Ordering::Relaxed);
+    let total = (WRITERS * KEYS_PER_WRITER) as usize;
+    assert_eq!(replica_a.count(), moved);
+    assert_eq!(replica_b.count(), moved);
+    assert_eq!(registry.count(), total - moved);
+    // Every key is in the registry XOR in both replicas — never in limbo,
+    // never in a strict subset of the replicas, resize or no resize.
+    for id in 0..WRITERS * KEYS_PER_WRITER {
+        let in_reg = registry.contains(&id);
+        let in_replicas = replica_a.contains(&id) && replica_b.contains(&id);
+        assert!(in_reg ^ in_replicas, "session {id} torn by the broadcast");
+    }
+
+    println!(
+        "inserted {total} sessions into a 1-bucket map; directory grew to \
+         {} buckets with zero stop-the-world rehashes",
+        registry.capacity()
+    );
+    println!(
+        "broadcast {moved} sessions to both replicas mid-growth \
+         (replicas grew to {} / {} buckets)",
+        replica_a.capacity(),
+        replica_b.capacity()
+    );
+}

@@ -385,6 +385,67 @@ fn recorded_hash_map_histories_are_linearizable() {
 }
 
 #[test]
+fn recorded_map_histories_across_resize_are_linearizable() {
+    // The PR 5 acceptance history: MapSpec semantics must be unchanged
+    // while the split-ordered directory doubles mid-history. Two threads
+    // churn a tiny key space (conflicts inside one chain before growth,
+    // across split chains after) while a third floods fresh keys and
+    // forces doublings, so every round's history crosses at least one
+    // resize boundary.
+    use lockfree_compose::linear::{MapOp, MapSpec};
+    use lockfree_compose::LfHashMap;
+
+    for round in 0..20u64 {
+        let map: LfHashMap<u32, u32> = LfHashMap::with_buckets(1);
+        let rec: Recorder<MapOp> = Recorder::new();
+        std::thread::scope(|sc| {
+            for t in 0..2u64 {
+                let (map, rec) = (&map, &rec);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x5E51 + round * 37 + t);
+                    for i in 0..8u32 {
+                        let k = rng.below(4) as u32;
+                        match rng.below(4) {
+                            0 | 1 => {
+                                let v = (t as u32) * 100 + i;
+                                rec.record(|| MapOp::Insert(k, v, map.insert(k, v)));
+                            }
+                            2 => {
+                                rec.record(|| MapOp::Remove(k, map.remove(&k)));
+                            }
+                            _ => {
+                                rec.record(|| MapOp::Get(k, map.get(&k)));
+                            }
+                        }
+                    }
+                });
+            }
+            let (map, rec) = (&map, &rec);
+            sc.spawn(move || {
+                for i in 0..16u32 {
+                    let k = 1_000 + i; // disjoint from the churn key space
+                    rec.record(|| MapOp::Insert(k, k, map.insert(k, k)));
+                    if i % 4 == 0 {
+                        map.force_grow();
+                    }
+                }
+            });
+        });
+        assert!(
+            map.capacity() > 1,
+            "round {round}: the history must cross a resize boundary"
+        );
+        let h = rec.finish();
+        let verdict = check_linearizable(&MapSpec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: map history across resize not linearizable:\n{}",
+            render_history(&h)
+        );
+    }
+}
+
+#[test]
 fn recorded_one_slot_histories_are_linearizable() {
     // OneSlot under its own spec: the bounded container whose rejected
     // puts must still linearize at a moment the slot is observably full.
