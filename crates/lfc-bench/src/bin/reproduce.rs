@@ -151,8 +151,19 @@ fn run_bench_capture(args: &[String]) {
         json.push_str(&m.to_json());
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
+    // Reclamation diagnostics (PR 6): a post-suite snapshot of the hazard
+    // domain, so regressions in garbage accumulation (or an ejection storm
+    // on an unstalled run, which should report zero) show up in the
+    // tracked BENCH_results.json alongside the latency numbers.
+    let (ejections, zombies) = lfc_hazard::ejection_stats();
     json.push_str(&format!(
-        "  ],\n  \"overhead_ratio_queue\": {q_ratio:.4},\n  \"overhead_ratio_stack\": {s_ratio:.4}\n}}\n"
+        "  ],\n  \"overhead_ratio_queue\": {q_ratio:.4},\n  \"overhead_ratio_stack\": {s_ratio:.4},\n  \
+         \"reclamation\": {{ \"retired_count\": {}, \"retired_bytes\": {}, \"diverted\": {}, \
+         \"scans\": {}, \"ejections\": {ejections}, \"zombies\": {zombies} }}\n}}\n",
+        lfc_hazard::retired_count(),
+        lfc_hazard::retired_bytes(),
+        lfc_hazard::diverted_count(),
+        lfc_hazard::scan_count(),
     ));
 
     match out {

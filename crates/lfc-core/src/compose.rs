@@ -44,6 +44,26 @@
 //! This is also what keeps nested same-role stages from clobbering each
 //! other: every entry owns its own slot, so the *n*-th insert of a fan-out
 //! can never overwrite the (*n*−1)-th insert's protection.
+//!
+//! # Ejection and composition (PR 6)
+//!
+//! The stall-robustness tier ([`lfc_hazard`]'s era/ejection machinery) needs
+//! no engine support, for three reasons:
+//!
+//! * **Nested ops never restart.** [`lfc_hazard::OpGuard::repin_if_ejected`]
+//!   refuses at nesting depth > 1, so an ejection observed by a stage that
+//!   runs *inside* another stage's capture is deferred: the structure's
+//!   retry-head check returns `false` and the op proceeds under the still-
+//!   valid old-era protection (an ejection mark does not revoke protection —
+//!   the marked slot keeps gating reclamation until the owner acknowledges).
+//! * **ACK happens at outermost exit.** The outermost guard's drop stores 0
+//!   to the epoch slot, which doubles as the ejection acknowledgement; by
+//!   then `finish` has already released the ENTRY promotions.
+//! * **Captured words survive ejection.** Promotion moves each captured
+//!   entry's allocation to an ENTRY *hazard* slot, and hazards are immune to
+//!   ejection — zombie partitioning only bypasses the epoch side of the free
+//!   rule, never a named hazard. A composition whose thread is ejected (or
+//!   even zombified) mid-commit therefore still holds every captured word.
 
 use crate::{
     InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint, MoveOutcome, MoveSource,

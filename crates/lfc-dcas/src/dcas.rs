@@ -76,6 +76,9 @@ pub struct DcasDesc {
     /// As `hp1`, for `*ptr2`.
     hp2: usize,
     res: AtomicUsize,
+    /// Global era at (re)allocation, forwarded to `retire_with` so zombie
+    /// scans can exonerate descriptors born after an ejected reader stalled.
+    birth: usize,
 }
 
 // Safety: helpers on other threads read the immutable fields and CAS `res`;
@@ -116,6 +119,9 @@ fn alloc_desc() -> NonNull<DcasDesc> {
             unsafe { d.as_ref() }
                 .res
                 .store(RES_UNDECIDED, Ordering::Relaxed);
+            // Safety: exclusively owned (pool contract); plain store before
+            // publication.
+            unsafe { (*d.as_ptr()).birth = lfc_hazard::birth_era() };
             #[cfg(debug_assertions)]
             // Safety: exclusively owned; poison the triple pointers so a
             // commit without set_first/set_second trips the debug asserts.
@@ -139,6 +145,7 @@ fn alloc_desc() -> NonNull<DcasDesc> {
                     new2: 0,
                     hp2: 0,
                     res: AtomicUsize::new(RES_UNDECIDED),
+                    birth: lfc_hazard::birth_era(),
                 });
             }
         },
@@ -367,12 +374,28 @@ impl DescHandle {
     }
 
     /// Retire the (published) descriptor through the hazard domain.
+    ///
+    /// Uses `retire_with`: descriptors carry their allocation era so a
+    /// zombie scan can exonerate ones born after the stall, and — having no
+    /// drop glue — they divert straight into the type-stable pool when a
+    /// zombie pins them.
     fn retire(self) {
+        let birth = self.desc().birth;
         let p = self.desc.as_ptr() as *mut u8;
         std::mem::forget(self);
         // Safety: decided descriptors are unreachable except through stale
         // marked words, whose readers fail hazard validation (module docs).
-        unsafe { lfc_hazard::retire(p, reclaim_desc) };
+        unsafe {
+            lfc_hazard::retire_with(
+                p,
+                reclaim_desc,
+                lfc_hazard::RetireInfo {
+                    bytes: std::mem::size_of::<DcasDesc>(),
+                    birth,
+                    divert: Some(reclaim_desc),
+                },
+            )
+        };
     }
 }
 
@@ -679,8 +702,21 @@ pub mod test_support {
     /// Must be called exactly once, after the DCAS is decided.
     pub unsafe fn retire_announced(desc_word: Word) {
         let p = word::desc_addr(desc_word) as *mut u8;
+        // Safety: the descriptor is alive (forwarded contract), so its
+        // birth field is readable.
+        let birth = unsafe { (*(p as *const DcasDesc)).birth };
         // Safety: forwarded contract.
-        unsafe { lfc_hazard::retire(p, reclaim_desc) };
+        unsafe {
+            lfc_hazard::retire_with(
+                p,
+                reclaim_desc,
+                lfc_hazard::RetireInfo {
+                    bytes: std::mem::size_of::<DcasDesc>(),
+                    birth,
+                    divert: Some(reclaim_desc),
+                },
+            )
+        };
     }
 
     /// Current `res` state, decoded loosely for assertions.

@@ -95,6 +95,8 @@ pub struct CasnDesc {
     entries: [CasnEntry; MAX_ENTRIES],
     count: usize,
     status: AtomicUsize,
+    /// Global era at (re)allocation; see `DcasDesc::birth`.
+    birth: usize,
 }
 
 // Safety: shared with helpers; see module docs for the hazard discipline.
@@ -166,6 +168,8 @@ struct RdcssDesc {
     word: *const DAtomic,
     old: Word,
     casn_word: Word,
+    /// Global era at (re)allocation; see `DcasDesc::birth`.
+    birth: usize,
 }
 
 unsafe impl Send for RdcssDesc {}
@@ -214,7 +218,10 @@ impl CasnHandle {
                     .store(ST_UNDECIDED, Ordering::Relaxed);
                 // Safety: exclusively owned; entries are governed by
                 // `count`, so stale triples are unreachable.
-                unsafe { (*d.as_ptr()).count = 0 };
+                unsafe {
+                    (*d.as_ptr()).count = 0;
+                    (*d.as_ptr()).birth = lfc_hazard::birth_era();
+                };
             },
             |block| {
                 counters::CASN_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
@@ -224,6 +231,7 @@ impl CasnHandle {
                         entries: [CasnEntry::default(); MAX_ENTRIES],
                         count: 0,
                         status: AtomicUsize::new(ST_UNDECIDED),
+                        birth: lfc_hazard::birth_era(),
                     });
                 }
             },
@@ -280,11 +288,23 @@ impl CasnHandle {
     }
 
     fn retire(self) {
+        let birth = self.desc().birth;
         let p = self.desc.as_ptr() as *mut u8;
         std::mem::forget(self);
         // Safety: decided; stale references are resolved before their
-        // holders' hazards clear (module docs).
-        unsafe { lfc_hazard::retire(p, reclaim_casn) };
+        // holders' hazards clear (module docs). No drop glue, so zombie
+        // scans may divert the block into the type-stable pool.
+        unsafe {
+            lfc_hazard::retire_with(
+                p,
+                reclaim_casn,
+                lfc_hazard::RetireInfo {
+                    bytes: std::mem::size_of::<CasnDesc>(),
+                    birth,
+                    divert: Some(reclaim_casn),
+                },
+            )
+        };
     }
 }
 
@@ -493,6 +513,7 @@ fn alloc_rdcss(status: &AtomicUsize, e: &CasnEntry, casn_word: Word) -> Word {
                 word: e.ptr,
                 old: e.old,
                 casn_word,
+                birth: lfc_hazard::birth_era(),
             });
         }
     };
@@ -512,11 +533,23 @@ fn alloc_rdcss(status: &AtomicUsize, e: &CasnEntry, casn_word: Word) -> Word {
 }
 
 fn retire_rdcss(desc_word: Word) {
+    let p = word::desc_addr(desc_word) as *mut u8;
+    // Safety: the descriptor is still alive here, so `birth` is readable.
+    let birth = unsafe { (*(p as *const RdcssDesc)).birth };
     // Published to helpers through the word; must go through the domain.
     // Safety: the install attempt has resolved; stale readers fail
-    // validation because the word no longer holds this descriptor.
+    // validation because the word no longer holds this descriptor. No drop
+    // glue, so zombie scans may divert into the type-stable pool.
     unsafe {
-        lfc_hazard::retire(word::desc_addr(desc_word) as *mut u8, reclaim_rdcss);
+        lfc_hazard::retire_with(
+            p,
+            reclaim_rdcss,
+            lfc_hazard::RetireInfo {
+                bytes: std::mem::size_of::<RdcssDesc>(),
+                birth,
+                divert: Some(reclaim_rdcss),
+            },
+        );
     }
 }
 

@@ -72,6 +72,41 @@
 //! operation is decided and the initiating side's word has been swung, and
 //! every helper removes its own stale marked descriptor before clearing the
 //! hazard that protects it (see `lfc-dcas`).
+//!
+//! # Stall robustness: eras and ejection (PR 6)
+//!
+//! Epoch protection has a classic failure mode: one descheduled reader pins
+//! its entry epoch forever and everything retired after it accumulates
+//! without bound. The domain therefore carries a robustness tier
+//! (see DESIGN.md "Reclamation regimes" for the proofs):
+//!
+//! * **Birth eras.** [`retire_with`] annotates a record with the era the
+//!   allocation was *born* in ([`birth_era`], stamped before publication).
+//!   A record born after a stalled reader's entry era is provably
+//!   unreachable by that reader, so its garbage never charges to the stall.
+//! * **Ejection (R1).** When a reader's pinned era lags more than the
+//!   configured [`StallPolicy::stall_eras`] behind *and* retired garbage
+//!   exceeds the byte/count budget, a scan CAS-marks the laggard's epoch
+//!   slot with an ejection bit. The mark changes nothing about safety — an
+//!   ejected slot still gates reclamation exactly like an active one — it
+//!   is a *request*: the owner detects it at its next operation boundary
+//!   ([`OpGuard::repin_if_ejected`]), drops the epoch (the acknowledgement)
+//!   and restarts the operation under a fresh era instead of trusting
+//!   protection it is about to lose. Captured words survive restarts via
+//!   their `ENTRY*` hazard promotions, which ejection never touches.
+//! * **Zombie tier (R2).** If the mark goes unacknowledged for
+//!   [`StallPolicy::grace_eras`] more eras the slot is promoted to a
+//!   *zombie* and stops gating the epoch condition. Records the zombie
+//!   could still reach (tag ≥ its entry era) are then partitioned by birth
+//!   era: born after the ejection era ⇒ freed normally (the stall cannot
+//!   have captured a path to them); born before ⇒ *diverted* into
+//!   type-stable limbo (the pool's size class is returned without running
+//!   drop glue, so a reader that violates the park assumption and issues
+//!   one more read lands on mapped pooled memory, never on unmapped or
+//!   recycled-into-another-type bytes — VBR-style defense in depth); no
+//!   divert function ⇒ retained (legacy [`retire`] callers keep full
+//!   safety, at the cost of the bound). The set born before ejection is
+//!   fixed at ejection time, so diverted leakage is bounded per stall.
 
 #![warn(missing_docs)]
 
@@ -102,6 +137,18 @@ pub mod model_toggles {
 
     pub(crate) fn stale_tag_bug() -> bool {
         STALE_TAG_BUG.load(Ordering::Relaxed)
+    }
+
+    /// Disable the ejection-detection restart: when set,
+    /// `OpGuard::repin_if_ejected` reports "not ejected" even when the
+    /// thread's slot carries the mark, so an ejected reader keeps trusting
+    /// protection the zombie tier has already stopped honouring. The model
+    /// ejection scenarios assert the checker catches the resulting
+    /// use-after-free (the diverted block is quarantined under the model).
+    pub static SKIP_EJECT_RESTART: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn skip_eject_restart() -> bool {
+        SKIP_EJECT_RESTART.load(Ordering::Relaxed)
     }
 }
 
@@ -197,6 +244,77 @@ static EPOCHS: [EpochSlot; MAX_THREADS] = [const {
 /// entry, written only on the cold scan path.
 static GLOBAL_EPOCH: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(1));
 
+/// Ejection request mark (R1) on an epoch slot: set by a scan, detected and
+/// acknowledged by the owner. An `EJ`-marked slot still gates reclamation.
+const EJ_BIT: usize = 1 << (usize::BITS - 1);
+/// Zombie mark (R2): an unacknowledged ejection past the grace window. A
+/// `Z`-marked slot no longer gates the epoch condition; records it could
+/// reach go through the birth-era partition instead.
+const Z_BIT: usize = 1 << (usize::BITS - 2);
+/// Era payload of an epoch-slot word (the global epoch never reaches
+/// 2^62, so the two mark bits can never collide with an era value).
+const ERA_MASK: usize = Z_BIT - 1;
+
+/// The era a scan last ejected each thread at: `fetch_max`ed *before* the
+/// ejection CAS, read when promoting to zombie and when partitioning
+/// zombie-pinned records by birth era. Monotone, so a stale value from a
+/// lost ejection race or an earlier episode only ever widens the diverted
+/// set (the conservative direction). Indexed by dense thread id.
+static EJECT_ERA: [AtomicUsize; MAX_THREADS] = [const { AtomicUsize::new(0) }; MAX_THREADS];
+
+/// Stall-robustness knobs (see the crate docs and DESIGN.md). Process
+/// global; read once per scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallPolicy {
+    /// Eras a reader's pinned entry may lag the current era before it is a
+    /// candidate for ejection.
+    pub stall_eras: usize,
+    /// Eras an ejection mark may go unacknowledged before the slot is
+    /// promoted to a zombie.
+    pub grace_eras: usize,
+    /// Retired-but-unreclaimed bytes that arm the ejection path (no reader
+    /// is ever ejected while garbage is under budget).
+    pub max_retired_bytes: usize,
+    /// Retired-but-unreclaimed record count that arms the ejection path.
+    pub max_retired_count: usize,
+}
+
+impl StallPolicy {
+    /// Generous defaults: ejection stays dormant unless a reader stalls for
+    /// a long time *while* garbage genuinely piles up.
+    pub const DEFAULT: StallPolicy = StallPolicy {
+        stall_eras: 64,
+        grace_eras: 64,
+        max_retired_bytes: 256 << 20,
+        max_retired_count: 1 << 20,
+    };
+}
+
+static POL_STALL_ERAS: AtomicUsize = AtomicUsize::new(StallPolicy::DEFAULT.stall_eras);
+static POL_GRACE_ERAS: AtomicUsize = AtomicUsize::new(StallPolicy::DEFAULT.grace_eras);
+static POL_MAX_BYTES: AtomicUsize = AtomicUsize::new(StallPolicy::DEFAULT.max_retired_bytes);
+static POL_MAX_COUNT: AtomicUsize = AtomicUsize::new(StallPolicy::DEFAULT.max_retired_count);
+
+/// Install a new process-global [`StallPolicy`]. Takes effect from the next
+/// scan; safe to call at any time (the ejection machinery re-derives its
+/// decisions from scratch every scan).
+pub fn configure_stall_policy(p: StallPolicy) {
+    POL_STALL_ERAS.store(p.stall_eras.max(1), Ordering::Relaxed);
+    POL_GRACE_ERAS.store(p.grace_eras.max(1), Ordering::Relaxed);
+    POL_MAX_BYTES.store(p.max_retired_bytes, Ordering::Relaxed);
+    POL_MAX_COUNT.store(p.max_retired_count, Ordering::Relaxed);
+}
+
+/// The currently installed [`StallPolicy`].
+pub fn stall_policy() -> StallPolicy {
+    StallPolicy {
+        stall_eras: POL_STALL_ERAS.load(Ordering::Relaxed),
+        grace_eras: POL_GRACE_ERAS.load(Ordering::Relaxed),
+        max_retired_bytes: POL_MAX_BYTES.load(Ordering::Relaxed),
+        max_retired_count: POL_MAX_COUNT.load(Ordering::Relaxed),
+    }
+}
+
 /// Total allocations handed to [`retire`]. Padded: bumped on every retire
 /// by every thread; must not share a line with `RECLAIMED_TOTAL` (bumped in
 /// scans) or the orphan head.
@@ -206,6 +324,33 @@ static RECLAIMED_TOTAL: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize:
 /// Total reclamation scans run (diagnostics; the adaptive-threshold test
 /// asserts scan counts stay logarithmic under pinned retire bursts).
 static SCANS_TOTAL: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+/// Bytes sitting in retired-but-unreclaimed records (as reported to
+/// [`retire_with`]; legacy [`retire`] records count 0). Published at scan
+/// granularity, not per retire: each thread accumulates into its
+/// [`ThreadReclaim::bytes_unpublished`] (a plain field — the retire fast
+/// path stays RMW-free) and folds the delta in here right before it scans,
+/// then subtracts what the scan freed in one batch. The global value
+/// therefore lags reality by at most one scan window of retires per
+/// thread — slack the byte budget absorbs (pressure engages a window
+/// late, the conservative direction for ejection; the stall adversary
+/// reads this after `flush`, which publishes).
+static RETIRED_BYTES: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+/// Total records diverted into type-stable limbo instead of reclaimed
+/// (their drop glue never runs; the block itself returned to the pool).
+static DIVERTED_TOTAL: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+/// Total ejection marks successfully installed (diagnostics/tests).
+static EJECTIONS_TOTAL: AtomicUsize = AtomicUsize::new(0);
+/// Total zombie promotions (diagnostics/tests).
+static ZOMBIES_TOTAL: AtomicUsize = AtomicUsize::new(0);
+
+/// Retire volume at the last ungated era advance (see `collect_protection`:
+/// the era clock must keep ticking while a laggard blocks the gated
+/// advance, otherwise lag can never exceed `stall_eras`).
+#[cfg(not(lfc_model))]
+static ERA_TICK: AtomicUsize = AtomicUsize::new(0);
+/// Retires between ungated era advances (≈ one era per base scan batch).
+#[cfg(not(lfc_model))]
+const ERA_RETIRE_QUANTUM: usize = 128;
 
 /// Tag of a retired record no scan has seen yet. Tagging happens on the
 /// *scan* side (after the scan's SC fence), not at retire time, so the hot
@@ -224,6 +369,16 @@ struct Retired {
     /// and the tag would dominate it), therefore after the unlink, and
     /// cannot hold a path to the block.
     epoch: usize,
+    /// Allocation size for the garbage-bytes budget (0 for legacy records).
+    bytes: usize,
+    /// Era the allocation was born in ([`BIRTH_UNKNOWN`] for legacy
+    /// records): the zombie partition's evidence that a stalled reader
+    /// cannot reach the block.
+    birth: usize,
+    /// Type-stable fallback free: returns the block to its pool *without*
+    /// running drop glue. `None` (legacy) means zombie-pinned records are
+    /// retained instead of diverted.
+    divert: Option<unsafe fn(*mut u8)>,
 }
 
 // Retired pointers are only dereferenced by their reclaimer; moving the
@@ -296,6 +451,10 @@ struct ThreadReclaim {
     /// work per retire — while an empty survivor set falls back to the
     /// base threshold unchanged.
     next_scan: usize,
+    /// Bytes retired by this thread since it last published into
+    /// [`RETIRED_BYTES`] (see the doc there): folded in by
+    /// [`publish_and_scan`], so the retire fast path is a plain add.
+    bytes_unpublished: usize,
 }
 
 thread_local! {
@@ -309,6 +468,7 @@ fn with_reclaim<R>(f: impl FnOnce(&mut ThreadReclaim) -> R) -> R {
             p = Box::into_raw(Box::new(ThreadReclaim {
                 pending: Vec::new(),
                 next_scan: 0,
+                bytes_unpublished: 0,
             }));
             cell.set(p);
             // Tear down *before* the thread id is released (lfc-runtime runs
@@ -320,6 +480,12 @@ fn with_reclaim<R>(f: impl FnOnce(&mut ThreadReclaim) -> R) -> R {
                 let mut tr = unsafe { Box::from_raw(p) };
                 // One last scan attempt, then park leftovers on the orphan
                 // stack as a single batch (one CAS, however many remain).
+                // Publish first: the leftovers' bytes must be globally
+                // visible before another thread can adopt and free them.
+                if tr.bytes_unpublished != 0 {
+                    RETIRED_BYTES.fetch_add(tr.bytes_unpublished, Ordering::Relaxed);
+                    tr.bytes_unpublished = 0;
+                }
                 scan_list(&mut tr.pending);
                 orphans_push(std::mem::take(&mut tr.pending));
             }));
@@ -409,6 +575,20 @@ impl Guard {
         self.slot_ref(idx).load(Ordering::Acquire)
     }
 
+    /// Whether this thread's epoch slot currently carries an ejection or
+    /// zombie mark (diagnostics; operations restart through
+    /// [`OpGuard::repin_if_ejected`]).
+    ///
+    /// Relaxed (audited): detection is liveness, not safety — an R1 mark
+    /// still gates reclamation, and the R2 regime's safety rests on the
+    /// resume happens-before (DESIGN.md), which any later acquire on the
+    /// wake path establishes before the owner can act on stale pointers.
+    /// The restart path itself re-enters through the full `pin_op` fence.
+    #[inline]
+    pub fn ejected(&self) -> bool {
+        EPOCHS[self.tid as usize].epoch.load(Ordering::Relaxed) & (EJ_BIT | Z_BIT) != 0
+    }
+
     /// Set-and-validate loop: publishes the value returned by `load`, then
     /// re-runs `load` until it observes the same value, guaranteeing the
     /// protection was visible before the allocation could have been freed.
@@ -466,6 +646,23 @@ pub fn pin_op() -> OpGuard {
     let n = slot.nest.load(Ordering::Relaxed);
     slot.nest.store(n + 1, Ordering::Relaxed);
     if n == 0 {
+        enter_epoch(slot);
+    }
+    OpGuard {
+        g,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Publish a fresh entry era in `slot` and validate it against the global
+/// epoch (the outermost half of [`pin_op`], shared with the ejection
+/// restart path). The owner's stores here overwrite any ejection mark a
+/// scan raced onto the slot's previous value: benign — a freshly validated
+/// entry is at the current era, i.e. not lagging, and the scanner's
+/// mark/promote CASes fail on the changed value.
+#[inline]
+fn enter_epoch(slot: &EpochSlot) {
+    {
         let mut e = GLOBAL_EPOCH.load(Ordering::Relaxed);
         loop {
             slot.epoch.store(e, Ordering::Relaxed);
@@ -508,9 +705,43 @@ pub fn pin_op() -> OpGuard {
             e = cur;
         }
     }
-    OpGuard {
-        g,
-        _not_send: std::marker::PhantomData,
+}
+
+impl OpGuard {
+    /// Ejection detection hook, called by structure operations at their
+    /// retry-loop heads: if this is the *outermost* operation and a scan
+    /// has marked this thread's slot ejected, acknowledge (drop the epoch)
+    /// and re-enter at a fresh era, returning `true` — every pointer the
+    /// caller obtained under the old era is now invalid and the operation
+    /// must restart from its structure entry point. Nested operations
+    /// always return `false`: the restart belongs to the outermost
+    /// operation (its completion — the outermost guard drop — is the
+    /// acknowledgement), and `ENTRY*` hazard promotions keep any captured
+    /// words safe across the remainder of the composition regardless.
+    ///
+    /// Cost when not ejected: one owner-local slot load and a predictable
+    /// branch — no fence, no shared-line write.
+    #[inline]
+    pub fn repin_if_ejected(&mut self) -> bool {
+        let slot = &EPOCHS[self.g.tid as usize];
+        // Relaxed (audited): see `Guard::ejected`.
+        if slot.epoch.load(Ordering::Relaxed) & (EJ_BIT | Z_BIT) == 0 {
+            return false;
+        }
+        #[cfg(lfc_model)]
+        if model_toggles::skip_eject_restart() {
+            return false;
+        }
+        if slot.nest.load(Ordering::Relaxed) != 1 {
+            return false;
+        }
+        // Acknowledge: leave the marked epoch entirely (Release orders our
+        // traversal loads before it, exactly like the normal exit), then
+        // re-enter through the full validated-entry path. The scanner's
+        // zombie-promotion CAS fails on the changed slot value.
+        slot.epoch.store(0, Ordering::Release);
+        enter_epoch(slot);
+        true
     }
 }
 
@@ -555,7 +786,8 @@ pub fn min_active_epoch() -> Option<usize> {
         .iter()
         .take(hw)
         .map(|s| s.epoch.load(Ordering::SeqCst))
-        .filter(|&e| e != 0)
+        .filter(|&e| e != 0 && e & Z_BIT == 0)
+        .map(|e| e & ERA_MASK)
         .min()
 }
 
@@ -568,34 +800,104 @@ pub fn min_active_epoch() -> Option<usize> {
 /// * The allocation must already be unlinked per the retire contract in the
 ///   crate docs: any thread that subsequently reaches it through shared
 ///   memory must fail its hazard validation.
+#[inline]
 pub unsafe fn retire(ptr: *mut u8, reclaim: unsafe fn(*mut u8)) {
+    // Safety: forwarded contract. Legacy records carry no byte count, no
+    // birth era and no divert path, so a zombie can pin them forever —
+    // callers that want the stall bound use `retire_with`.
+    unsafe {
+        retire_with(
+            ptr,
+            reclaim,
+            RetireInfo {
+                bytes: 0,
+                birth: BIRTH_UNKNOWN,
+                divert: None,
+            },
+        )
+    };
+}
+
+/// Birth era of a record retired without one: pessimistically "older than
+/// every stall", so the zombie partition can never free it by birth
+/// evidence. (The global epoch starts at 1, so 0 is never a real era.)
+pub const BIRTH_UNKNOWN: usize = 0;
+
+/// The era to stamp a freshly allocated block with, *before* publication
+/// (a plain field write is enough — publication orders it). Relaxed: a
+/// stale (older) read only makes the birth more conservative.
+#[inline]
+pub fn birth_era() -> usize {
+    GLOBAL_EPOCH.load(Ordering::Relaxed)
+}
+
+/// Robustness annotations for [`retire_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetireInfo {
+    /// Allocation size in bytes, charged against
+    /// [`StallPolicy::max_retired_bytes`] until the record is freed.
+    pub bytes: usize,
+    /// The [`birth_era`] stamped on the allocation before it was published
+    /// ([`BIRTH_UNKNOWN`] if the caller cannot provide one).
+    pub birth: usize,
+    /// Type-stable fallback free for the zombie partition: must return the
+    /// block to its (never-unmapped) pool **without** running drop glue.
+    /// For types without drop glue this may simply be the reclaimer.
+    pub divert: Option<unsafe fn(*mut u8)>,
+}
+
+/// [`retire`] with stall-robustness annotations: the byte size feeds the
+/// garbage budget, and the birth era plus divert path let the zombie tier
+/// bound garbage under a parked reader (crate docs, "Stall robustness").
+///
+/// # Safety
+///
+/// As [`retire`]; additionally `info.divert`, when present, must free the
+/// block into type-stable memory without dereferencing its contents.
+#[inline]
+pub unsafe fn retire_with(ptr: *mut u8, reclaim: unsafe fn(*mut u8), info: RetireInfo) {
     RETIRED_TOTAL.fetch_add(1, Ordering::Relaxed);
     // No fence and no epoch read here: the record enters the list
     // UNTAGGED, and the first scan that sees it — whose own SC fence is
     // ordered after this retire (same thread, or the orphan handoff's
     // release/acquire) and hence after the caller's unlink — assigns the
-    // tag. Keeps the retire path at a Vec push.
+    // tag. Keeps the retire path at a Vec push; the byte charge is a plain
+    // thread-local add, published at scan time (see [`RETIRED_BYTES`]).
+    let r = Retired {
+        ptr,
+        reclaim,
+        epoch: UNTAGGED,
+        bytes: info.bytes,
+        birth: info.birth,
+        divert: info.divert,
+    };
     if thread_is_exiting() {
-        // Thread-exit fallback: park the record on the orphan stack; the
-        // next scan by any live thread adopts it.
-        orphans_push(vec![Retired {
-            ptr,
-            reclaim,
-            epoch: UNTAGGED,
-        }]);
+        // Thread-exit fallback: park the record on the orphan stack (the
+        // next scan by any live thread adopts it) and publish its bytes
+        // now — there is no later scan of ours to fold them in.
+        RETIRED_BYTES.fetch_add(info.bytes, Ordering::Relaxed);
+        orphans_push(vec![r]);
         return;
     }
     with_reclaim(|tr| {
-        tr.pending.push(Retired {
-            ptr,
-            reclaim,
-            epoch: UNTAGGED,
-        });
+        tr.bytes_unpublished += info.bytes;
+        tr.pending.push(r);
         if tr.pending.len() >= tr.next_scan.max(scan_threshold()) {
-            scan_list(&mut tr.pending);
-            tr.next_scan = rearm_scan(tr.pending.len());
+            publish_and_scan(tr);
         }
     });
+}
+
+/// Fold this thread's unpublished byte charges into the global gauge, then
+/// scan and re-arm. Every scan of a live thread's list goes through here so
+/// the gauge is current before `collect_protection` computes pressure.
+fn publish_and_scan(tr: &mut ThreadReclaim) {
+    if tr.bytes_unpublished != 0 {
+        RETIRED_BYTES.fetch_add(tr.bytes_unpublished, Ordering::Relaxed);
+        tr.bytes_unpublished = 0;
+    }
+    scan_list(&mut tr.pending);
+    tr.next_scan = rearm_scan(tr.pending.len());
 }
 
 fn scan_threshold() -> usize {
@@ -631,6 +933,21 @@ struct Protection {
     /// reader sweep observed. See `collect_protection` for why the sweep
     /// must participate in the max.
     tag: usize,
+    /// Zombie slots this scan observed: their entry eras no longer feed
+    /// `min_enter`; records only they could reach go through the birth-era
+    /// partition in `scan_list`.
+    zombies: Vec<Zombie>,
+}
+
+/// A zombified reader as seen by one scan.
+#[derive(Clone, Copy)]
+struct Zombie {
+    /// The entry era its slot still publishes: the zombie can only hold
+    /// paths to records whose tag is ≥ this.
+    entry: usize,
+    /// The era it was ejected at (from [`EJECT_ERA`]): records born after
+    /// this are provably out of its reach.
+    ejected: usize,
 }
 
 /// Collect every current protection — epochs first, hazards second.
@@ -647,6 +964,12 @@ fn collect_protection() -> Protection {
     // below see the protection. Cold path: one fence per scan.
     fence(Ordering::SeqCst);
     let hw = registered_high_water();
+
+    let pol = stall_policy();
+    // Ejection is armed only under genuine garbage pressure; a stalled
+    // reader on an idle system costs nothing and is left alone.
+    let pressure = RETIRED_BYTES.load(Ordering::Relaxed) > pol.max_retired_bytes
+        || retired_count() > pol.max_retired_count;
 
     // Epoch sweep BEFORE the hazard sweep. A reader that exits its epoch
     // after promoting a protection into a hazard slot stores the hazard
@@ -680,18 +1003,70 @@ fn collect_protection() -> Protection {
     // that fence — visible to the sweep below, and the tag dominates it.
     let mut tag = cur;
     let mut all_at_cur = true;
-    for slot in EPOCHS.iter().take(hw) {
+    let mut zombies = Vec::new();
+    for (i, slot) in EPOCHS.iter().enumerate().take(hw) {
         // SeqCst (audited, required): the scanner's side of the Dekker
         // with the reader's slot store + enter fence (a reader this load
         // misses provably fenced after our fence above, i.e. entered after
         // every unlink feeding this scan). Also ≥ Acquire, which pairs
         // with the Release epoch clear (see above).
-        let e = slot.epoch.load(Ordering::SeqCst);
-        if e != 0 {
-            min_enter = min_enter.min(e);
-            tag = tag.max(e);
-            if e != cur {
-                all_at_cur = false;
+        let v = slot.epoch.load(Ordering::SeqCst);
+        if v == 0 {
+            continue;
+        }
+        let era = v & ERA_MASK;
+        if v & Z_BIT != 0 {
+            // Zombie (R2): excluded from `min_enter` — it no longer gates
+            // the epoch condition — and from the gated-advance vote, so
+            // the clock runs again. Folding its era into the tag is
+            // harmless (monotone) and keeps the tag dominating every
+            // observed entry. SeqCst on EJECT_ERA (audited): the promoting
+            // scan's fetch_max precedes its Z CAS in the SC order, so any
+            // scan that observes the Z bit observes an eject era from this
+            // (or a later) episode, never 0.
+            tag = tag.max(era);
+            zombies.push(Zombie {
+                entry: era,
+                ejected: EJECT_ERA[i].load(Ordering::SeqCst),
+            });
+            continue;
+        }
+        min_enter = min_enter.min(era);
+        tag = tag.max(era);
+        if era != cur {
+            all_at_cur = false;
+        }
+        if v & EJ_BIT != 0 {
+            // R1-marked, not yet acknowledged. Still gates everything —
+            // the mark is a request, not a revocation. Promote to zombie
+            // once the grace window has passed without an acknowledgement
+            // (the owner would have cleared the mark by re-entering or
+            // exiting, making this CAS fail on the changed value).
+            let j = EJECT_ERA[i].load(Ordering::SeqCst);
+            if cur.saturating_sub(j) >= pol.grace_eras
+                && slot
+                    .epoch
+                    .compare_exchange(v, v | Z_BIT, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+            {
+                ZOMBIES_TOTAL.fetch_add(1, Ordering::Relaxed);
+                // Conservatively still a gating reader for *this* scan
+                // (min_enter above already included it); the partition
+                // takes over from the next scan.
+            }
+        } else if pressure && cur.saturating_sub(era) >= pol.stall_eras {
+            // Eject: record the ejection era first (monotone fetch_max —
+            // a lost race or a stale value from an earlier episode only
+            // widens the diverted set, the conservative direction), then
+            // install the mark. The CAS fails if the owner moved, i.e.
+            // was not actually stalled.
+            EJECT_ERA[i].fetch_max(cur, Ordering::SeqCst);
+            if slot
+                .epoch
+                .compare_exchange(v, v | EJ_BIT, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                EJECTIONS_TOTAL.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -708,6 +1083,34 @@ fn collect_protection() -> Protection {
         // another scan advanced first. SeqCst: the `advance` link of the
         // proof chain above.
         let _ = GLOBAL_EPOCH.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::Relaxed);
+    }
+    // Laggard-driven era tick: the gated advance above stalls the moment
+    // one reader lags, which would cap observable lag at about one era and
+    // make `stall_eras` thresholds unreachable — the ejection tier needs
+    // the clock to keep running while a laggard pins it. The tick fires
+    // only when a laggard actually blocked the gated advance, and only on
+    // retire volume (an idle system's clock stays put). Keeping it out of
+    // the all-current steady state matters for throughput: ticking ahead
+    // of the sweep would leave every scanning reader one era behind `cur`,
+    // permanently defeating `all_at_cur` and holding fresh tags one era
+    // short of the freeing condition — a standing retired backlog instead
+    // of next-scan draining. Safe for the same reason `advance_epoch` is:
+    // a faster-moving epoch only makes newer readers enter (and scans tag)
+    // at higher eras; the freeing rule is driven by entered epochs.
+    // Compiled out under the model: cumulative cross-execution retire
+    // counts would make explored executions diverge on replay; model
+    // scenarios drive eras explicitly via `advance_epoch`.
+    #[cfg(not(lfc_model))]
+    if !all_at_cur {
+        let retired = RETIRED_TOTAL.load(Ordering::Relaxed);
+        let mark = ERA_TICK.load(Ordering::Relaxed);
+        if retired.wrapping_sub(mark) >= ERA_RETIRE_QUANTUM
+            && ERA_TICK
+                .compare_exchange(mark, retired, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            GLOBAL_EPOCH.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     let mut hazards = HashSet::with_capacity(hw * 4);
@@ -728,6 +1131,7 @@ fn collect_protection() -> Protection {
         hazards,
         min_enter,
         tag,
+        zombies,
     }
 }
 
@@ -744,6 +1148,12 @@ fn scan_list(list: &mut Vec<Retired>) {
     orphans_adopt(list);
     let p = collect_protection();
     let pending = std::mem::take(list);
+    // Per-scan batches for the global gauges: one RMW each at the end
+    // instead of one per freed record (the free loop is the hot part of a
+    // scan; lock-prefixed RMWs per record showed up in profiles).
+    let mut freed_bytes = 0usize;
+    let mut reclaimed = 0usize;
+    let mut diverted = 0usize;
     for mut r in pending {
         let epoch_clear = if r.epoch == UNTAGGED {
             // First scan to see this record. With no active reader it can
@@ -760,13 +1170,53 @@ fn scan_list(list: &mut Vec<Retired>) {
         } else {
             r.epoch < p.min_enter
         };
-        if epoch_clear && !p.hazards.contains(&(r.ptr as usize)) {
-            RECLAIMED_TOTAL.fetch_add(1, Ordering::Relaxed);
+        if !epoch_clear || p.hazards.contains(&(r.ptr as usize)) {
+            list.push(r);
+            continue;
+        }
+        // Zombie partition (R2, see crate docs): `epoch_clear` says no
+        // *non-zombie* reader can reach the record. A zombie with entry
+        // era ≤ the tag may still hold a pre-unlink path — unless the
+        // record was born after that zombie was ejected (it stalled before
+        // the ejection, so a block allocated after it can never have been
+        // captured by it). Records some zombie could reach are diverted
+        // into type-stable limbo when the retirer provided a divert path,
+        // and retained otherwise.
+        let mut divert = false;
+        let mut retain = false;
+        for z in &p.zombies {
+            if r.epoch >= z.entry && !(r.birth != BIRTH_UNKNOWN && r.birth > z.ejected) {
+                if r.divert.is_some() {
+                    divert = true;
+                } else {
+                    retain = true;
+                    break;
+                }
+            }
+        }
+        if retain {
+            list.push(r);
+        } else if divert {
+            diverted += 1;
+            freed_bytes += r.bytes;
+            // Safety: retire_with contract — divert frees into the
+            // type-stable pool without touching the contents.
+            unsafe { (r.divert.unwrap())(r.ptr) };
+        } else {
+            reclaimed += 1;
+            freed_bytes += r.bytes;
             // Safety: unlinked per the retire contract and unprotected now.
             unsafe { (r.reclaim)(r.ptr) };
-        } else {
-            list.push(r);
         }
+    }
+    if reclaimed != 0 {
+        RECLAIMED_TOTAL.fetch_add(reclaimed, Ordering::Relaxed);
+    }
+    if diverted != 0 {
+        DIVERTED_TOTAL.fetch_add(diverted, Ordering::Relaxed);
+    }
+    if freed_bytes != 0 {
+        RETIRED_BYTES.fetch_sub(freed_bytes, Ordering::Relaxed);
     }
 }
 
@@ -779,17 +1229,44 @@ pub fn flush() {
         orphans_push(list);
         return;
     }
-    with_reclaim(|tr| {
-        scan_list(&mut tr.pending);
-        tr.next_scan = rearm_scan(tr.pending.len());
-    });
+    with_reclaim(publish_and_scan);
 }
 
-/// Number of retired-but-not-yet-reclaimed allocations (process-wide).
+/// Number of retired-but-not-yet-freed allocations (process-wide; diverted
+/// records count as freed — their blocks are back in the pool).
 pub fn pending_retired() -> usize {
+    retired_count()
+}
+
+/// Number of retired records still awaiting reclamation (the count the
+/// [`StallPolicy::max_retired_count`] budget is charged against).
+pub fn retired_count() -> usize {
     RETIRED_TOTAL
         .load(Ordering::Relaxed)
         .saturating_sub(RECLAIMED_TOTAL.load(Ordering::Relaxed))
+        .saturating_sub(DIVERTED_TOTAL.load(Ordering::Relaxed))
+}
+
+/// Bytes held by retired records still awaiting reclamation, as reported
+/// through [`retire_with`] (legacy [`retire`] records contribute 0). The
+/// quantity the stall adversary bounds and the
+/// [`StallPolicy::max_retired_bytes`] budget is charged against.
+pub fn retired_bytes() -> usize {
+    RETIRED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Number of records diverted into type-stable limbo by the zombie tier
+/// (their drop glue never ran; bounded per stall — see crate docs).
+pub fn diverted_count() -> usize {
+    DIVERTED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// (ejection marks installed, zombie promotions) since process start.
+pub fn ejection_stats() -> (usize, usize) {
+    (
+        EJECTIONS_TOTAL.load(Ordering::Relaxed),
+        ZOMBIES_TOTAL.load(Ordering::Relaxed),
+    )
 }
 
 /// Number of reclamation scans run since process start (diagnostics).

@@ -1,0 +1,256 @@
+//! Bounded-exploration acceptance for the PR 6 ejection ladder:
+//!
+//! * **ejection-vs-free** — a reader parks mid-traversal holding a pointer;
+//!   the writer unlinks, retires with a divert route, and drives the eras
+//!   until the reader is ejected, zombified, and the block *diverted out
+//!   from under it*. On resume the reader runs the structure-idiom
+//!   detection (`repin_if_ejected` at the retry head): with the detection
+//!   honest the restart path must pass the bound clean; with the restart
+//!   suppressed (`SKIP_EJECT_RESTART` toggle — the library behaviour a
+//!   structure would get if it skipped the retry-head check) the explorer
+//!   must catch the dereference of the diverted block as a use-after-free.
+//! * **ejection-vs-capture** — same stall, but the reader promoted the
+//!   block into an ENTRY hazard slot first (what the composition engine
+//!   does at capture time). Zombie partitioning must never override a
+//!   named hazard: the post-resume dereference has to survive the bound.
+//!
+//! Requires `RUSTFLAGS="--cfg lfc_model"`; compiles to nothing otherwise.
+//! Run with `--test-threads=1`: the stall policy and the toggle are
+//! process-global.
+#![cfg(lfc_model)]
+
+use lfc_runtime::sync::{spin_loop, AtomicUsize, Ordering};
+use std::alloc::Layout;
+use std::sync::Arc;
+
+const MAGIC: usize = 0xE7EC_7ED0;
+const NODE_LAYOUT: Layout = Layout::new::<[usize; 4]>();
+
+/// Zero budgets, one-era stall and grace: the first lagging scan ejects,
+/// the next zombifies, the one after diverts.
+const AGGRESSIVE: lfc_hazard::StallPolicy = lfc_hazard::StallPolicy {
+    stall_eras: 1,
+    grace_eras: 1,
+    max_retired_bytes: 0,
+    max_retired_count: 0,
+};
+
+unsafe fn reclaim_node(p: *mut u8) {
+    // Safety: forwarded retire contract (NODE_LAYOUT block).
+    unsafe { lfc_alloc::free_block(p, NODE_LAYOUT) };
+}
+
+/// Retire `p` with full PR 6 metadata: sized, born now, divertable (the
+/// block holds no drop glue, so the divert route is the reclaimer itself).
+unsafe fn retire_divertable(p: *mut u8) {
+    unsafe {
+        lfc_hazard::retire_with(
+            p,
+            reclaim_node,
+            lfc_hazard::RetireInfo {
+                bytes: NODE_LAYOUT.size(),
+                birth: lfc_hazard::birth_era(),
+                divert: Some(reclaim_node),
+            },
+        )
+    };
+}
+
+/// Writer role shared by both scenarios: unlink, retire, then drive the
+/// era clock far enough that a reader parked since before the retire has
+/// been ejected, zombified, and its pinned garbage partitioned.
+fn unlink_and_stall_out(loc: &AtomicUsize) {
+    let p = loc.swap(0, Ordering::AcqRel);
+    if p != 0 {
+        // Safety: unlinked by the swap.
+        unsafe { retire_divertable(p as *mut u8) };
+    }
+    // Exactly three rungs: first lagging scan EJ-marks, second zombifies,
+    // third partitions and diverts.
+    for _ in 0..3 {
+        lfc_hazard::advance_epoch();
+        lfc_hazard::flush();
+    }
+}
+
+/// Ejection-vs-free. The reader's park is a facade-visible latch spin, so
+/// the explorer can interleave the writer's whole stall-out inside it.
+fn scenario_eject_free() {
+    lfc_hazard::configure_stall_policy(AGGRESSIVE);
+    let node = lfc_alloc::alloc_block(NODE_LAYOUT).as_ptr() as *mut AtomicUsize;
+    // Safety: fresh, correctly sized block.
+    unsafe { node.write(AtomicUsize::new(MAGIC)) };
+    let loc = Arc::new(AtomicUsize::new(node as usize));
+    let latch = Arc::new(AtomicUsize::new(0));
+
+    let reader = {
+        let loc = loc.clone();
+        let latch = latch.clone();
+        lfc_model::thread::spawn(move || {
+            let mut g = lfc_hazard::pin_op();
+            let p = loc.load(Ordering::Acquire);
+            // Park mid-traversal (no deref yet): the stall under test.
+            while latch.load(Ordering::Acquire) == 0 {
+                spin_loop();
+            }
+            // Structure retry-head idiom. `true` means every pointer from
+            // the old era is invalid and the op restarts from the root;
+            // `false` (not ejected, or the suppressed-restart toggle)
+            // means the op continues with what it holds.
+            if g.repin_if_ejected() {
+                let p2 = loc.load(Ordering::Acquire);
+                assert_eq!(p2, 0, "restart re-reads the root after the unlink");
+            } else if p != 0 {
+                // Safety claim under test: an un-ejected epoch keeps
+                // entry-reachable blocks alive. With the toggle on this
+                // thread *was* ejected, the block was diverted, and the
+                // facade catches this dereference.
+                let v = unsafe { &*(p as *const AtomicUsize) }.load(Ordering::Acquire);
+                assert_eq!(v, MAGIC, "node content changed under the epoch");
+            }
+        })
+    };
+    let writer = {
+        let loc = loc.clone();
+        let latch = latch.clone();
+        lfc_model::thread::spawn(move || {
+            unlink_and_stall_out(&loc);
+            latch.store(1, Ordering::Release);
+        })
+    };
+    reader.join();
+    writer.join();
+    lfc_hazard::configure_stall_policy(lfc_hazard::StallPolicy::DEFAULT);
+}
+
+/// Ejection-vs-capture: the ENTRY promotion must survive the full ladder.
+///
+/// The reader spawns the writer *after* promoting: the spawn edge orders
+/// the promotion before every scan, which is faithful to the engine —
+/// capture-time promotion always completes under the still-validated
+/// epoch before the operation can stall (the promote is part of the
+/// capture step itself), so "promotion races the dangerous scans" is not
+/// a reachable ordering. Modelling that unreachable race anyway explodes
+/// the bounded search (every scan's hazard-slot read conflicts with the
+/// promote/clear pair — 400k executions did not exhaust it); with the
+/// spawn edge the explored concurrency is the ladder itself against the
+/// parked reader, the same shape `scenario_eject_free` completes.
+fn scenario_eject_capture() {
+    lfc_hazard::configure_stall_policy(AGGRESSIVE);
+    let node = lfc_alloc::alloc_block(NODE_LAYOUT).as_ptr() as *mut AtomicUsize;
+    // Safety: fresh, correctly sized block.
+    unsafe { node.write(AtomicUsize::new(MAGIC)) };
+    let loc = Arc::new(AtomicUsize::new(node as usize));
+    let latch = Arc::new(AtomicUsize::new(0));
+
+    let reader = {
+        let loc = loc.clone();
+        let latch = latch.clone();
+        lfc_model::thread::spawn(move || {
+            let mut g = lfc_hazard::pin_op();
+            // The writer does not exist yet, so the load always sees the
+            // live node: the deref below runs in *every* execution.
+            let p = loc.load(Ordering::Acquire);
+            assert_ne!(p, 0, "unlink cannot precede the spawn");
+            // Capture-time promotion (what the engine does): the block is
+            // now hazard-named, independent of the epoch's fate.
+            g.promote(lfc_hazard::slot::ENTRY0, p);
+            let writer = {
+                let loc = loc.clone();
+                let latch = latch.clone();
+                lfc_model::thread::spawn(move || {
+                    unlink_and_stall_out(&loc);
+                    latch.store(1, Ordering::Release);
+                })
+            };
+            while latch.load(Ordering::Acquire) == 0 {
+                spin_loop();
+            }
+            let _ = g.repin_if_ejected();
+            // Safety claim under test: zombie partitioning never overrides
+            // a named hazard, even though this thread was ejected and
+            // zombified while parked.
+            let v = unsafe { &*(p as *const AtomicUsize) }.load(Ordering::Acquire);
+            assert_eq!(v, MAGIC, "ENTRY-promoted block freed under zombie");
+            g.clear(lfc_hazard::slot::ENTRY0);
+            writer.join();
+        })
+    };
+    reader.join();
+    lfc_hazard::configure_stall_policy(lfc_hazard::StallPolicy::DEFAULT);
+}
+
+fn opts() -> lfc_model::ExploreOpts {
+    lfc_model::ExploreOpts {
+        // One preemption suffices: park the reader at the latch while the
+        // writer runs the whole unlink→retire→stall-out sequence.
+        preemption_bound: 1,
+        step_budget: 50_000,
+        max_executions: 60_000,
+        memory: lfc_model::MemoryMode::Weak,
+    }
+}
+
+/// Both toggle phases in ONE test (the toggle is process-global; see
+/// `stale_tag.rs` for the rationale).
+#[test]
+fn eject_free_skipped_restart_caught_then_honest_clean() {
+    // Phase 1 — restart suppressed: the explorer must catch the UAF on
+    // the diverted block.
+    lfc_hazard::model_toggles::SKIP_EJECT_RESTART.store(true, std::sync::atomic::Ordering::SeqCst);
+    let report = lfc_model::explore(opts(), scenario_eject_free);
+    lfc_hazard::model_toggles::SKIP_EJECT_RESTART.store(false, std::sync::atomic::Ordering::SeqCst);
+    let failure = report
+        .failure
+        .expect("suppressed ejection restart must surface as a use-after-free");
+    assert!(
+        matches!(failure.kind, lfc_model::FailureKind::Uaf { .. }),
+        "expected a use-after-free, got: {failure}"
+    );
+    assert!(!failure.schedule.is_empty());
+    eprintln!(
+        "caught the suppressed-restart UAF after {} executions:\n{failure}",
+        report.executions
+    );
+
+    // Phase 2 — honest detection: the same bound must pass clean.
+    let report = lfc_model::explore(opts(), scenario_eject_free);
+    if let Some(f) = &report.failure {
+        panic!("honest ejection restart must survive the same bound, but:\n{f}");
+    }
+    assert!(
+        report.complete,
+        "acceptance is a COMPLETE bounded search ({} executions hit max_executions)",
+        report.executions
+    );
+    eprintln!(
+        "honest restart clean over {} executions (complete: {}, pruned: {})",
+        report.executions, report.complete, report.pruned
+    );
+}
+
+#[test]
+fn eject_capture_entry_hazard_survives_zombie() {
+    // The promotion adds hazard-slot scheduling points, so this scenario
+    // still branches wider than eject-free even with the writer gated on
+    // the promoted latch; budget headroom sized like `model_resize`.
+    let report = lfc_model::explore(
+        lfc_model::ExploreOpts {
+            max_executions: 400_000,
+            ..opts()
+        },
+        scenario_eject_capture,
+    );
+    if let Some(f) = &report.failure {
+        panic!("ENTRY promotion must survive ejection + zombie, but:\n{f}");
+    }
+    assert!(
+        report.complete,
+        "acceptance is a COMPLETE bounded search ({} executions hit max_executions)",
+        report.executions
+    );
+    eprintln!(
+        "capture-under-ejection clean over {} executions (complete: {}, pruned: {})",
+        report.executions, report.complete, report.pruned
+    );
+}

@@ -203,6 +203,8 @@ struct SNode<K, T> {
     key: Option<K>,
     /// `Some` for data nodes; written once before publication.
     val: UnsafeCell<Option<T>>,
+    /// Birth era (PR 6): written before publication, read at retire.
+    birth: usize,
 }
 
 fn snode_layout<K, T>() -> Layout {
@@ -218,6 +220,7 @@ fn alloc_snode<K, T>(so_key: usize, key: Option<K>, val: Option<T>) -> *mut SNod
             so_key,
             key,
             val: UnsafeCell::new(val),
+            birth: lfc_hazard::birth_era(),
         });
     }
     debug_assert_eq!(p.as_ptr() as usize & 0b111, 0);
@@ -232,9 +235,28 @@ unsafe fn reclaim_snode<K, T>(p: *mut u8) {
     }
 }
 
+/// Zombie-tier fallback: pool the block without dropping key/value (see
+/// `divert_node` in `node.rs`).
+unsafe fn divert_snode<K, T>(p: *mut u8) {
+    // Safety: retire contract; contents intentionally not dropped.
+    unsafe { lfc_alloc::free_block(p, snode_layout::<K, T>()) };
+}
+
 unsafe fn retire_snode<K, T>(p: *mut SNode<K, T>) {
+    // Safety: unlinked but live; single retire call reads the plain field.
+    let birth = unsafe { (*p).birth };
     // Safety: forwarded.
-    unsafe { lfc_hazard::retire(p as *mut u8, reclaim_snode::<K, T>) };
+    unsafe {
+        lfc_hazard::retire_with(
+            p as *mut u8,
+            reclaim_snode::<K, T>,
+            lfc_hazard::RetireInfo {
+                bytes: std::mem::size_of::<SNode<K, T>>(),
+                birth,
+                divert: Some(divert_snode::<K, T>),
+            },
+        )
+    };
 }
 
 unsafe fn free_unpublished_snode<K, T>(p: *mut SNode<K, T>) {
@@ -684,14 +706,18 @@ where
     /// using their (coarser) start dummy. Returns the bucket count after
     /// the attempt.
     ///
-    /// Note that every doubling lets subsequent operations lazily
-    /// materialize directory segments proportional to the new bucket
-    /// range: forcing growth far past the item count buys nothing and
-    /// costs directory memory (the heuristic never over-grows — it only
-    /// doubles when items outnumber buckets 2:1).
+    /// Every doubling lets subsequent operations lazily materialize
+    /// directory segments proportional to the new bucket range, so growth
+    /// is **clamped to a bound derived from the item count** (PR 6, fixing
+    /// the hazard documented in PR 5): the doubling is refused once the
+    /// bucket count reaches [`Self::grow_bound`] — a few doublings past
+    /// where the load-factor heuristic would stop — so a force-grow loop
+    /// can pre-warm real capacity but can never balloon the directory far
+    /// past what the resident items justify. (Use
+    /// [`LfHashMap::with_buckets`] to start big instead.)
     pub fn force_grow(&self) -> usize {
         let size = self.hdr().size.load(Ordering::Relaxed);
-        if size < self.max_size {
+        if size < self.max_size && size < self.grow_bound() {
             let _ = self.hdr().size.compare_exchange(
                 size,
                 size << 1,
@@ -700,6 +726,22 @@ where
             );
         }
         self.hdr().size.load(Ordering::Relaxed)
+    }
+
+    /// Largest bucket count [`force_grow`](Self::force_grow) may reach at
+    /// the current item count: two doublings past the load-factor
+    /// heuristic's own stopping point (`items > size << GROW_SHIFT`), and
+    /// never below the construction-time bucket count.
+    pub fn grow_bound(&self) -> usize {
+        // Relaxed (audited): a racy item count only shifts the clamp by a
+        // doubling; the directory-memory bound is asymptotic, not exact.
+        let items = self.hdr().items.load(Ordering::Relaxed);
+        (items + 1)
+            .next_power_of_two()
+            .checked_shl(GROW_SHIFT as u32 + 1)
+            .unwrap_or(usize::MAX)
+            .max(self.init_size)
+            .min(self.max_size)
     }
 
     /// Current bucket count (power of two). Grows over time; racy by
@@ -795,11 +837,15 @@ where
     T: Clone + Send + Sync + 'static,
 {
     fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome {
-        let g = pin_op();
+        let mut g = pin_op();
         let h = Self::hash(&key);
         let so = so_data_key(h);
         let node = alloc_snode(so, Some(key), Some(elem));
         loop {
+            // Ejection check (PR 6): the attempt re-resolves its start
+            // dummy anyway, so an ejected thread just re-enters here;
+            // `node` is unpublished and survives the restart.
+            g.repin_if_ejected();
             // Safety: node is ours until published; the key is immutable.
             let key_ref = unsafe { (*node).key.as_ref() }.expect("data node holds a key");
             // Re-resolve the start dummy every attempt: a concurrent
@@ -853,10 +899,12 @@ where
     T: Clone + Send + Sync + 'static,
 {
     fn remove_key_with<C: RemoveCtx<T>>(&self, key: &K, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin_op();
+        let mut g = pin_op();
         let h = Self::hash(key);
         let so = so_data_key(h);
         loop {
+            // Ejection check (PR 6): see `insert_key_with`.
+            g.repin_if_ejected();
             let start = self.start_for(h, &g);
             let pos = self.find_from(start, so, Some(key), &g);
             let cur = pos.cur;
@@ -941,12 +989,36 @@ where
             let seg = self.hdr().dir[k].load(Ordering::Acquire);
             if seg != 0 {
                 // Safety: unique teardown; the length header word rebuilds
-                // the layout inside the reclaimer.
-                unsafe { lfc_hazard::retire(seg as *mut u8, reclaim_segment) };
+                // the layout inside the reclaimer. Segments carry no drop
+                // glue, so the divert path is the reclaimer itself; the
+                // byte charge uses the length header. Birth unknown: a
+                // segment lives from first touch to Drop anyway.
+                let len = unsafe { (*(seg as *mut AtomicUsize)).load(Ordering::Relaxed) };
+                unsafe {
+                    lfc_hazard::retire_with(
+                        seg as *mut u8,
+                        reclaim_segment,
+                        lfc_hazard::RetireInfo {
+                            bytes: segment_layout(len).size(),
+                            birth: lfc_hazard::BIRTH_UNKNOWN,
+                            divert: Some(reclaim_segment),
+                        },
+                    )
+                };
             }
         }
         // Safety: unique teardown path.
-        unsafe { lfc_hazard::retire(self.header.as_ptr() as *mut u8, reclaim_map_header) };
+        unsafe {
+            lfc_hazard::retire_with(
+                self.header.as_ptr() as *mut u8,
+                reclaim_map_header,
+                lfc_hazard::RetireInfo {
+                    bytes: std::mem::size_of::<MapHeader>(),
+                    birth: lfc_hazard::BIRTH_UNKNOWN,
+                    divert: Some(reclaim_map_header),
+                },
+            )
+        };
     }
 }
 

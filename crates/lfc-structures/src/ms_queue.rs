@@ -140,10 +140,13 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for MsQueue<T> {
     /// operation epoch replaces the Q7/Q9 hazard publications and the
     /// Q10 validation re-read — a stale `ltail` simply fails the Q14 CAS.
     fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
-        let g = pin_op();
+        let mut g = pin_op();
         let node = alloc_node(Some(elem)); // Q2–Q4 (next = 0)
         let mut bo = Backoff::new(self.backoff);
         loop {
+            // Ejection check (PR 6): nothing from a prior iteration is
+            // live here; `node` is unpublished and survives the re-entry.
+            g.repin_if_ejected();
             let ltail = self.tail().read(&g); // Q6
             let tail_node = ltail as *mut Node<T>;
             // Safety: ltail was reachable through `tail` inside this epoch,
@@ -188,9 +191,11 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for MsQueue<T> {
     /// operation epoch replaces the Q24/Q27 hazard publications and the
     /// Q28 validation re-read.
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin_op();
+        let mut g = pin_op();
         let mut bo = Backoff::new(self.backoff);
         loop {
+            // Ejection check (PR 6): see `insert_with`.
+            g.repin_if_ejected();
             let lhead = self.head().read(&g); // Q23
             let ltail = self.tail().read(&g); // Q25
             let head_node = lhead as *mut Node<T>;

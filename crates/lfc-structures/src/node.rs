@@ -13,6 +13,7 @@
 //! addition documented in DESIGN.md §2.
 
 use lfc_dcas::{DAtomic, Word};
+use lfc_hazard::RetireInfo;
 use std::alloc::Layout;
 use std::cell::UnsafeCell;
 use std::ptr::NonNull;
@@ -26,6 +27,10 @@ pub(crate) struct Node<T> {
     /// Written once before the node is published; read (cloned) by removers
     /// before their linearization point; dropped at reclamation.
     pub val: UnsafeCell<Option<T>>,
+    /// Era the node was allocated in (plain write before publication,
+    /// plain read at retire): the zombie partition's evidence that a
+    /// stalled reader cannot reach this node (DESIGN.md, PR 6).
+    pub birth: usize,
 }
 
 const fn node_layout<T>() -> Layout {
@@ -41,6 +46,7 @@ pub(crate) fn alloc_node<T>(val: Option<T>) -> *mut Node<T> {
         p.as_ptr().write(Node {
             next: DAtomic::new(0),
             val: UnsafeCell::new(val),
+            birth: lfc_hazard::birth_era(),
         });
     }
     debug_assert_eq!(p.as_ptr() as usize & 0b111, 0);
@@ -58,14 +64,36 @@ pub(crate) unsafe fn reclaim_node<T>(p: *mut u8) {
     }
 }
 
+/// Zombie-tier fallback free (see `lfc-hazard` crate docs): return the
+/// block to its type-stable pool **without** running drop glue — the value
+/// leaks, bounded per stall, but a reader that violates the park
+/// assumption lands on mapped pooled memory instead of recycled bytes.
+pub(crate) unsafe fn divert_node<T>(p: *mut u8) {
+    // Safety: retire contract; contents intentionally not dropped.
+    unsafe { lfc_alloc::free_block(p, node_layout::<T>()) };
+}
+
 /// Defer-free a node that was published (reachable through shared memory).
 ///
 /// # Safety
 ///
 /// The node must be unlinked per the hazard-domain retire contract.
 pub(crate) unsafe fn retire_node<T>(p: *mut Node<T>) {
+    // Safety: the node is unlinked but still live; reading its plain
+    // birth field is the retirer's prerogative (single retire call).
+    let birth = unsafe { (*p).birth };
     // Safety: forwarded.
-    unsafe { lfc_hazard::retire(p as *mut u8, reclaim_node::<T>) };
+    unsafe {
+        lfc_hazard::retire_with(
+            p as *mut u8,
+            reclaim_node::<T>,
+            RetireInfo {
+                bytes: std::mem::size_of::<Node<T>>(),
+                birth,
+                divert: Some(divert_node::<T>),
+            },
+        )
+    };
 }
 
 /// Free a node that was never published (insert abort path, paper Q15–Q17 /
@@ -146,7 +174,19 @@ pub(crate) unsafe fn reclaim_solo_header(p: *mut u8) {
 ///
 /// Must be the structure's unique teardown path.
 pub(crate) unsafe fn retire_pair_header(p: NonNull<PairHeader>) {
-    unsafe { lfc_hazard::retire(p.as_ptr() as *mut u8, reclaim_pair_header) };
+    // Headers carry no drop glue, so the divert path *is* the reclaimer:
+    // a zombie-pinned header frees fully instead of being retained.
+    unsafe {
+        lfc_hazard::retire_with(
+            p.as_ptr() as *mut u8,
+            reclaim_pair_header,
+            RetireInfo {
+                bytes: std::mem::size_of::<PairHeader>(),
+                birth: lfc_hazard::BIRTH_UNKNOWN,
+                divert: Some(reclaim_pair_header),
+            },
+        )
+    };
 }
 
 /// See [`retire_pair_header`].
@@ -155,7 +195,17 @@ pub(crate) unsafe fn retire_pair_header(p: NonNull<PairHeader>) {
 ///
 /// Must be the structure's unique teardown path.
 pub(crate) unsafe fn retire_solo_header(p: NonNull<SoloHeader>) {
-    unsafe { lfc_hazard::retire(p.as_ptr() as *mut u8, reclaim_solo_header) };
+    unsafe {
+        lfc_hazard::retire_with(
+            p.as_ptr() as *mut u8,
+            reclaim_solo_header,
+            RetireInfo {
+                bytes: std::mem::size_of::<SoloHeader>(),
+                birth: lfc_hazard::BIRTH_UNKNOWN,
+                divert: Some(reclaim_solo_header),
+            },
+        )
+    };
 }
 
 #[cfg(test)]

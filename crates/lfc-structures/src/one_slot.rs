@@ -121,8 +121,10 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for OneSlot<T> {
 
 impl<T: Clone + Send + Sync + 'static> MoveSource<T> for OneSlot<T> {
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin_op();
+        let mut g = pin_op();
         loop {
+            // Ejection check (PR 6): see TreiberStack.
+            g.repin_if_ejected();
             let cur = self.word().read(&g);
             if cur == 0 {
                 return RemoveOutcome::Empty;

@@ -23,7 +23,7 @@ use lfc_core::{
     RemoveOutcome, ScasResult,
 };
 use lfc_dcas::DAtomic;
-use lfc_hazard::{pin, pin_op, Guard};
+use lfc_hazard::{pin, pin_op, OpGuard};
 use std::alloc::Layout;
 use std::cell::UnsafeCell;
 use std::ptr::NonNull;
@@ -45,6 +45,8 @@ struct LNode<K, T> {
     next: DAtomic,
     key: K,
     val: UnsafeCell<Option<T>>,
+    /// Birth era (PR 6): written before publication, read at retire.
+    birth: usize,
 }
 
 fn lnode_layout<K, T>() -> Layout {
@@ -59,6 +61,7 @@ fn alloc_lnode<K, T>(key: K, val: T) -> *mut LNode<K, T> {
             next: DAtomic::new(0),
             key,
             val: UnsafeCell::new(Some(val)),
+            birth: lfc_hazard::birth_era(),
         });
     }
     debug_assert_eq!(p.as_ptr() as usize & 0b111, 0);
@@ -73,9 +76,28 @@ unsafe fn reclaim_lnode<K, T>(p: *mut u8) {
     }
 }
 
+/// Zombie-tier fallback: pool the block without dropping key/value (see
+/// `divert_node` in `node.rs`).
+unsafe fn divert_lnode<K, T>(p: *mut u8) {
+    // Safety: retire contract; contents intentionally not dropped.
+    unsafe { lfc_alloc::free_block(p, lnode_layout::<K, T>()) };
+}
+
 unsafe fn retire_lnode<K, T>(p: *mut LNode<K, T>) {
+    // Safety: unlinked but live; single retire call reads the plain field.
+    let birth = unsafe { (*p).birth };
     // Safety: forwarded.
-    unsafe { lfc_hazard::retire(p as *mut u8, reclaim_lnode::<K, T>) };
+    unsafe {
+        lfc_hazard::retire_with(
+            p as *mut u8,
+            reclaim_lnode::<K, T>,
+            lfc_hazard::RetireInfo {
+                bytes: std::mem::size_of::<LNode<K, T>>(),
+                birth,
+                divert: Some(divert_lnode::<K, T>),
+            },
+        )
+    };
 }
 
 unsafe fn free_unpublished_lnode<K, T>(p: *mut LNode<K, T>) {
@@ -142,8 +164,12 @@ where
     /// reachable after the epoch's enter fence is retired, if at all, at an
     /// epoch no scan can free under us — so the hops are plain acquire
     /// reads with no per-node hazard publication or validation re-read.
-    fn find(&self, key: &K, g: &Guard) -> Position<K, T> {
+    fn find(&self, key: &K, g: &mut OpGuard) -> Position<K, T> {
         'retry: loop {
+            // Ejection check (PR 6): the restart point holds no pointers,
+            // so acknowledging here is free — the walk below re-derives
+            // everything from the head under the fresh era.
+            g.repin_if_ejected();
             let mut prev_word: *const DAtomic = self.head();
             let mut prev_hp = self.header.as_ptr() as usize;
             loop {
@@ -208,8 +234,8 @@ where
 
     /// Clone the element under `key`, if present.
     pub fn get(&self, key: &K) -> Option<T> {
-        let g = pin_op();
-        let pos = self.find(key, &g);
+        let mut g = pin_op();
+        let pos = self.find(key, &mut g);
         if pos.cur.is_null() {
             None
         } else {
@@ -262,12 +288,17 @@ where
     T: Clone + Send + Sync + 'static,
 {
     fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome {
-        let g = pin_op();
+        let mut g = pin_op();
         let node = alloc_lnode(key, elem);
         loop {
+            // Ejection check (PR 6): if a scan marked us stalled, re-enter
+            // at a fresh era and redo the find — `node` is unpublished and
+            // ours, so it survives the restart; every `pos` from a prior
+            // iteration is dead either way.
+            g.repin_if_ejected();
             // Safety: node is ours until published.
             let key_ref = unsafe { &(*node).key };
-            let pos = self.find(key_ref, &g);
+            let pos = self.find(key_ref, &mut g);
             if !pos.cur.is_null() {
                 // Safety: cur epoch-protected by find's op guard.
                 if unsafe { &(*pos.cur).key } == key_ref {
@@ -307,9 +338,11 @@ where
     T: Clone + Send + Sync + 'static,
 {
     fn remove_key_with<C: RemoveCtx<T>>(&self, key: &K, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin_op();
+        let mut g = pin_op();
         loop {
-            let pos = self.find(key, &g);
+            // Ejection check (PR 6): see `insert_key_with`.
+            g.repin_if_ejected();
+            let pos = self.find(key, &mut g);
             let cur = pos.cur;
             // Safety: cur epoch-protected by find's op guard (non-null).
             if cur.is_null() || unsafe { &(*cur).key } != key {

@@ -152,9 +152,11 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for StampedStack<T> {
 
 impl<T: Clone + Send + Sync + 'static> MoveSource<T> for StampedStack<T> {
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin_op();
+        let mut g = pin_op();
         let mut bo = Backoff::new(self.backoff);
         loop {
+            // Ejection check (PR 6): see TreiberStack.
+            g.repin_if_ejected();
             let lw = self.top().read(&g);
             let ltop = addr_of(lw);
             if ltop == 0 {

@@ -137,9 +137,13 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for TreiberStack<T> {
     /// validation re-read — nodes cannot be recycled inside our epoch, so
     /// the S22 CAS cannot ABA onto a reallocated block.
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
-        let g = pin_op();
+        let mut g = pin_op();
         let mut bo = Backoff::new(self.backoff);
         loop {
+            // Ejection check (PR 6): the retry head holds no pointers, so
+            // an ejected thread acknowledges here and re-reads `top` under
+            // its fresh era.
+            g.repin_if_ejected();
             let ltop = self.top().read(&g); // S15
             if ltop == 0 {
                 return RemoveOutcome::Empty; // S16–S17

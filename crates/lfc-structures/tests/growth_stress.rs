@@ -40,16 +40,11 @@ fn stress_growth_under_churn_conserves_keys() {
             // over), epoch advances and scans while the workers run.
             sc.spawn(move || {
                 while done_ref.load(Ordering::Acquire) < WORKERS as usize {
-                    // Bounded: every doubling lazily materializes directory
-                    // segments proportional to the touched bucket range, so
-                    // an unbounded force-grow loop would balloon the
-                    // directory far past what any item count justifies.
-                    if a.capacity() < 4096 {
-                        a.force_grow();
-                    }
-                    if b.capacity() < 4096 {
-                        b.force_grow();
-                    }
+                    // `force_grow` self-clamps at `grow_bound()` (PR 6), so
+                    // hammering it is safe: the directory can no longer
+                    // balloon past what the item count justifies.
+                    a.force_grow();
+                    b.force_grow();
                     lfc_hazard::advance_epoch();
                     lfc_hazard::flush();
                     std::thread::yield_now();
@@ -121,4 +116,55 @@ fn stress_growth_under_churn_conserves_keys() {
         a.capacity(),
         b.capacity()
     );
+    assert!(
+        a.capacity() <= a.grow_bound() && b.capacity() <= b.grow_bound(),
+        "the adversary's unthrottled force_grow loop must stay clamped \
+         (a: {} / {}, b: {} / {})",
+        a.capacity(),
+        a.grow_bound(),
+        b.capacity(),
+        b.grow_bound()
+    );
+}
+
+/// Regression (PR 6): `force_grow` used to double unconditionally up to
+/// `max_size`, so any caller looping it — the adversary above needed a
+/// hand-written cap — ballooned the directory far past what the item count
+/// justifies, lazily materializing segments for the whole range. It now
+/// clamps at `grow_bound()`, a small multiple of the live item count.
+#[test]
+fn force_grow_is_clamped_by_item_count() {
+    let m: LfHashMap<u64, u64> = LfHashMap::with_buckets(1);
+    for k in 0..10 {
+        assert!(m.insert(k, k * 7));
+    }
+    for _ in 0..50 {
+        m.force_grow();
+    }
+    // 10 items: bound = (10+1).next_power_of_two() << 2 = 64 buckets.
+    assert_eq!(m.grow_bound(), 64);
+    assert!(
+        m.capacity() <= m.grow_bound(),
+        "50 forced doublings on 10 items must clamp at the bound \
+         (capacity {}, bound {})",
+        m.capacity(),
+        m.grow_bound()
+    );
+
+    // The clamp tracks the item count: more items re-open headroom.
+    let before = m.capacity();
+    for k in 10..1_000 {
+        assert!(m.insert(k, k * 7));
+    }
+    for _ in 0..50 {
+        m.force_grow();
+    }
+    assert!(
+        m.capacity() > before,
+        "growth must resume once the item count justifies it"
+    );
+    assert!(m.capacity() <= m.grow_bound());
+    for k in 0..1_000 {
+        assert_eq!(m.get(&k), Some(k * 7), "key {k} lost across growth");
+    }
 }
