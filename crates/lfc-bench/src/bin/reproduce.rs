@@ -8,11 +8,19 @@
 //! reproduce all
 //! reproduce fig2 --backoff  # §6–§7 "with backoff" variant
 //! reproduce bench --label optimized [--out BENCH_run.json]
+//! reproduce throughput --label pr7 [--threads 1,2,4,8] [--duration-ms 300]
 //! ```
 //!
 //! `bench` runs the hot-path micro-suite (uncontended `move_one`, contended
 //! DCAS, raw-structure overhead ratios) and emits one JSON object, the
 //! format recorded in `BENCH_results.json` for the perf trajectory.
+//!
+//! `throughput` runs the PR 7 multi-thread closed-loop harness: each
+//! workload × mode (baseline/adaptive) at each thread count, emitting
+//! scaling curves (ops/sec + p50/p99/p999 + reclamation high-water) as one
+//! JSON object. With no `--threads`, a host with ≥ 4 cores sweeps
+//! 1/2/4/8 and a small CI container falls back to a 2-thread
+//! oversubscribed smoke run (`--smoke` forces the latter).
 //!
 //! Options: `--ops N` (total operations, default 1,000,000), `--trials K`
 //! (default 10; paper uses 5,000,000/50), `--threads 1,2,4,8,16`, `--csv`.
@@ -23,7 +31,9 @@
 //! (wall time minus local work), mean ± standard deviation over the trials,
 //! exactly the quantity the paper plots.
 
+use lfc_bench::json::Json;
 use lfc_bench::stats::{mean, std_dev};
+use lfc_bench::throughput::{cores, run_throughput, Skew, TpCfg, TpWorkload};
 use lfc_bench::{run_config, Contention, Impl, Mix, Pair, RunCfg};
 
 struct Options {
@@ -81,7 +91,7 @@ fn parse_args() -> Options {
     }
     if figures.is_empty() {
         eprintln!(
-            "usage: reproduce <fig2|fig3|fig4|all> [--backoff] [--ops N] [--trials K] [--threads 1,2,..] [--csv]\n       reproduce bench [--label NAME] [--out FILE.json]"
+            "usage: reproduce <fig2|fig3|fig4|all> [--backoff] [--ops N] [--trials K] [--threads 1,2,..] [--csv]\n       reproduce bench [--label NAME] [--out FILE.json]\n       reproduce throughput [--label NAME] [--threads 1,2,4,8] [--duration-ms N] [--key-space N] [--smoke] [--out FILE.json]"
         );
         std::process::exit(2);
     }
@@ -141,38 +151,190 @@ fn run_bench_capture(args: &[String]) {
     results.extend(micro::traverse());
     results.extend(micro::hashmap_scaling());
 
-    let mut json = String::new();
-    json.push_str(&format!(
-        "{{\n  \"label\": \"{}\",\n  \"seed\": {seed},\n  \"results\": [\n",
-        lfc_bench::harness::json_escape(&label)
-    ));
-    for (i, m) in results.iter().enumerate() {
-        json.push_str("    ");
-        json.push_str(&m.to_json());
-        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
-    }
     // Reclamation diagnostics (PR 6): a post-suite snapshot of the hazard
     // domain, so regressions in garbage accumulation (or an ejection storm
     // on an unstalled run, which should report zero) show up in the
     // tracked BENCH_results.json alongside the latency numbers.
     let (ejections, zombies) = lfc_hazard::ejection_stats();
-    json.push_str(&format!(
-        "  ],\n  \"overhead_ratio_queue\": {q_ratio:.4},\n  \"overhead_ratio_stack\": {s_ratio:.4},\n  \
-         \"reclamation\": {{ \"retired_count\": {}, \"retired_bytes\": {}, \"diverted\": {}, \
-         \"scans\": {}, \"ejections\": {ejections}, \"zombies\": {zombies} }}\n}}\n",
-        lfc_hazard::retired_count(),
-        lfc_hazard::retired_bytes(),
-        lfc_hazard::diverted_count(),
-        lfc_hazard::scan_count(),
-    ));
+    let ratio = |r: f64| Json::Num((r * 10_000.0).round() / 10_000.0);
+    let doc = Json::Obj(vec![
+        ("label".into(), Json::str(label)),
+        ("seed".into(), Json::int(seed)),
+        (
+            "results".into(),
+            Json::Arr(results.iter().map(|m| m.to_value()).collect()),
+        ),
+        ("overhead_ratio_queue".into(), ratio(q_ratio)),
+        ("overhead_ratio_stack".into(), ratio(s_ratio)),
+        (
+            "reclamation".into(),
+            Json::Obj(vec![
+                (
+                    "retired_count".into(),
+                    Json::int(lfc_hazard::retired_count() as u64),
+                ),
+                (
+                    "retired_bytes".into(),
+                    Json::int(lfc_hazard::retired_bytes() as u64),
+                ),
+                (
+                    "diverted".into(),
+                    Json::int(lfc_hazard::diverted_count() as u64),
+                ),
+                ("scans".into(), Json::int(lfc_hazard::scan_count() as u64)),
+                ("ejections".into(), Json::int(ejections as u64)),
+                ("zombies".into(), Json::int(zombies as u64)),
+            ]),
+        ),
+    ]);
+    emit(&doc, out);
+}
 
+/// Write the document to `--out` or stdout.
+fn emit(doc: &Json, out: Option<String>) {
+    let text = doc.to_pretty();
     match out {
         Some(path) => {
-            std::fs::write(&path, &json).expect("write bench output");
+            std::fs::write(&path, &text).expect("write output");
             eprintln!("wrote {path}");
         }
-        None => print!("{json}"),
+        None => print!("{text}"),
     }
+}
+
+/// `reproduce throughput`: run the multi-thread closed-loop harness and
+/// emit one scaling-curve JSON object.
+fn run_throughput_capture(args: &[String]) {
+    let mut label = "unlabeled".to_string();
+    let mut out: Option<String> = None;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut duration_ms = 300u64;
+    let mut key_space = 64u64;
+    let mut smoke = false;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                i += 1;
+                label = value(args, i, "--label");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(value(args, i, "--out"));
+            }
+            "--threads" => {
+                i += 1;
+                threads = Some(
+                    value(args, i, "--threads")
+                        .split(',')
+                        .map(|s| s.parse().expect("--threads a,b,c"))
+                        .collect(),
+                );
+            }
+            "--duration-ms" => {
+                i += 1;
+                duration_ms = value(args, i, "--duration-ms")
+                    .parse()
+                    .expect("--duration-ms N");
+            }
+            "--key-space" => {
+                i += 1;
+                key_space = value(args, i, "--key-space")
+                    .parse()
+                    .expect("--key-space N");
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown throughput argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    // Thread-count floor: a 1-core PR container cannot produce a credible
+    // scaling curve, so without an explicit sweep it runs one 2-thread
+    // oversubscribed smoke configuration instead.
+    let threads = match threads {
+        Some(t) => t,
+        None if smoke || cores() < 4 => vec![2],
+        None => vec![1, 2, 4, 8],
+    };
+    if smoke {
+        duration_ms = duration_ms.min(150);
+    }
+
+    let seed = lfc_bench::base_seed();
+    eprintln!(
+        "throughput sweep ({label}, seed {seed:#x}, {} core(s), threads {threads:?}, {duration_ms} ms/run)...",
+        cores()
+    );
+    let workloads = [
+        (TpWorkload::MoveHeavy, Skew::Zipfian),
+        (TpWorkload::ReadMostly, Skew::Zipfian),
+        (TpWorkload::Mixed, Skew::Zipfian),
+        (TpWorkload::MoveHeavy, Skew::Uniform),
+        (TpWorkload::StackPushPop, Skew::Uniform),
+    ];
+    // Interleave baseline/adaptive trials and keep each mode's median-
+    // throughput trial: back-to-back single runs on a shared box otherwise
+    // hand whichever mode runs second a warmed allocator and a quieter
+    // scheduler.
+    let trials = if smoke { 1 } else { 3 };
+    let mut curves = Vec::new();
+    for &n in &threads {
+        for (workload, skew) in workloads {
+            let mut runs: [Vec<_>; 2] = [Vec::new(), Vec::new()];
+            for _ in 0..trials {
+                for adaptive in [false, true] {
+                    runs[adaptive as usize].push(run_throughput(&TpCfg {
+                        workload,
+                        threads: n,
+                        skew,
+                        duration_ms,
+                        key_space,
+                        adaptive,
+                        seed,
+                    }));
+                }
+            }
+            for per_mode in runs {
+                let mut per_mode = per_mode;
+                per_mode.sort_by_key(|r| r.ops);
+                let r = per_mode.swap_remove(per_mode.len() / 2);
+                eprintln!(
+                    "  {:<22} {:<8} t={n}: {:>10.0} ops/s  p50={} p99={} p999={} retired_hwm={} batched={} elim={}",
+                    r.name,
+                    r.mode,
+                    r.ops_per_sec(),
+                    r.p50_ns,
+                    r.p99_ns,
+                    r.p999_ns,
+                    r.retired_hwm,
+                    r.batched_ops,
+                    r.elim_pairs
+                );
+                curves.push(r.to_value());
+            }
+        }
+    }
+    let doc = Json::Obj(vec![
+        ("label".into(), Json::str(label)),
+        ("seed".into(), Json::int(seed)),
+        ("cores".into(), Json::int(cores() as u64)),
+        (
+            "threads".into(),
+            Json::Arr(threads.iter().map(|&t| Json::int(t as u64)).collect()),
+        ),
+        ("duration_ms".into(), Json::int(duration_ms)),
+        ("curves".into(), Json::Arr(curves)),
+    ]);
+    emit(&doc, out);
 }
 
 fn main() {
@@ -180,6 +342,10 @@ fn main() {
         let args: Vec<String> = std::env::args().skip(1).collect();
         if args.first().map(String::as_str) == Some("bench") {
             run_bench_capture(&args[1..]);
+            return;
+        }
+        if args.first().map(String::as_str) == Some("throughput") {
+            run_throughput_capture(&args[1..]);
             return;
         }
     }

@@ -38,6 +38,19 @@ impl Measurement {
             self.max_ns
         )
     }
+
+    /// The same object as a [`crate::json::Json`] value (the emitters in
+    /// `reproduce` build one tree and serialize once).
+    pub fn to_value(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let ms = |v: f64| Json::Num((v * 1000.0).round() / 1000.0);
+        Json::Obj(vec![
+            ("name".into(), Json::str(self.name.clone())),
+            ("median_ns".into(), ms(self.median_ns)),
+            ("min_ns".into(), ms(self.min_ns)),
+            ("max_ns".into(), ms(self.max_ns)),
+        ])
+    }
 }
 
 /// Escape a string for embedding in a JSON string literal.

@@ -13,8 +13,11 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod hist;
+pub mod json;
 pub mod micro;
 pub mod stats;
+pub mod throughput;
 pub mod workload;
 
 pub use workload::{

@@ -101,6 +101,10 @@ pub struct TrialResult {
     pub sync_time: Duration,
 }
 
+// Two long-lived instances per trial; the inline elimination array (PR 7)
+// makes the stack variant large, but boxing would put a pointer hop on the
+// measured hot path of every figure workload.
+#[allow(clippy::large_enum_variant)]
 enum Obj {
     LfQ(MsQueue<u64>),
     LfS(TreiberStack<u64>),

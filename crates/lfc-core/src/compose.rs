@@ -105,10 +105,19 @@ pub struct Engine {
     /// Entry index whose owning stage must redo its init phase.
     retry_at: Option<usize>,
     dead: Option<Dead>,
+    /// Commit failures this composition may still absorb before giving up
+    /// (`None` = unbounded, the default). The batched front-end's *direct*
+    /// attempts run with a small budget: a contended composition that
+    /// burns through it aborts with [`Engine::starved`] set and falls back
+    /// to the claim-list group commit instead of fighting the hot words.
+    fail_budget: Option<u32>,
+    /// Whether the composition aborted because `fail_budget` ran out
+    /// (contention starvation), as opposed to a semantic rejection.
+    starved: bool,
 }
 
 impl Engine {
-    fn new(plan: usize) -> Engine {
+    pub(crate) fn new(plan: usize) -> Engine {
         debug_assert!(
             (2..=MAX_ENTRIES).contains(&plan),
             "compositions span 2..={MAX_ENTRIES} stages"
@@ -123,12 +132,39 @@ impl Engine {
             aliased: false,
             retry_at: None,
             dead: None,
+            fail_budget: None,
+            starved: false,
         }
+    }
+
+    /// A budgeted engine for the batched front-end's direct attempts (see
+    /// [`Engine::fail_budget`]).
+    pub(crate) fn new_budgeted(plan: usize, fail_budget: u32) -> Engine {
+        let mut eng = Engine::new(plan);
+        eng.fail_budget = Some(fail_budget);
+        eng
+    }
+
+    /// Whether the composition aborted on budget exhaustion rather than a
+    /// semantic rejection.
+    pub(crate) fn starved(&self) -> bool {
+        self.starved
+    }
+
+    /// Whether the last abort was an aliasing rejection.
+    pub(crate) fn was_aliased(&self) -> bool {
+        self.aliased
+    }
+
+    /// Whether the composition died because the remove at stage `idx`
+    /// found its source empty (swap verdict mapping).
+    pub(crate) fn empty_at(&self, idx: usize) -> bool {
+        self.dead == Some(Dead::Empty(idx))
     }
 
     /// Record stage `idx`'s linearization point; `false` means the word
     /// aliases an earlier entry and the stage must abort.
-    fn capture(&mut self, idx: usize, lp: &LinPoint<'_>) -> bool {
+    pub(crate) fn capture(&mut self, idx: usize, lp: &LinPoint<'_>) -> bool {
         debug_assert!(idx < self.plan);
         if idx == 0 {
             // A fresh attempt from the outermost stage: nothing has
@@ -166,7 +202,7 @@ impl Engine {
 
     /// Commit every captured entry; returns the innermost stage's
     /// "deeper succeeded" verdict.
-    fn commit(&mut self) -> bool {
+    pub(crate) fn commit(&mut self) -> bool {
         debug_assert_eq!(self.count, self.plan);
         self.no_commit = false;
         // Safety: every entry was captured by `capture` from a live
@@ -174,6 +210,26 @@ impl Engine {
         // hazards (plus the ENTRY* handoff slots) keep alive through this
         // call, and `capture` rejects aliased words, so the entries are
         // pairwise distinct.
+        match unsafe { commit_entries(&self.entries[..self.count], &self.g) } {
+            CasnResult::Success => true,
+            CasnResult::FailedAt(k) => {
+                self.retry_at = Some(k);
+                false
+            }
+        }
+    }
+
+    /// Seeded-bug support (`model_toggles::SKIP_FLAG_ENTRY`): commit only
+    /// the structure entries captured so far — *without* the result-flag
+    /// entry the batched front-end relies on for exactly-once execution.
+    /// This is the naive handoff protocol: the flag is then published by a
+    /// separate CAS after the commit, leaving a window in which a second
+    /// drainer re-executes the request and double-commits. Exists only so
+    /// the model checker can demonstrate it catches that bug.
+    #[cfg(lfc_model)]
+    pub(crate) fn commit_without_flag(&mut self) -> bool {
+        self.no_commit = false;
+        // Safety: same as `commit` — entries `..count` were captured live.
         match unsafe { commit_entries(&self.entries[..self.count], &self.g) } {
             CasnResult::Success => true,
             CasnResult::FailedAt(k) => {
@@ -198,6 +254,18 @@ impl Engine {
         match self.retry_at {
             // Our captured CAS failed: redo this stage's init phase.
             Some(k) if k == idx => {
+                // Budgeted attempt (batched front-end): each commit failure
+                // spends one unit; exhaustion converts the retry into a
+                // starvation abort that the caller routes to the group
+                // commit. `retry_at` stays set so the outer stages observe
+                // a post-commit abort, not a fresh-attempt one.
+                if let Some(b) = self.fail_budget.as_mut() {
+                    if *b == 0 {
+                        self.starved = true;
+                        return ScasResult::Abort;
+                    }
+                    *b -= 1;
+                }
                 self.retry_at = None;
                 ScasResult::Fail
             }
@@ -210,7 +278,7 @@ impl Engine {
     /// Release the engine-owned entry protections. The whole plan range is
     /// cleared (not just `count`): a commit failure rewinds `count` while
     /// deeper entries' slots may still hold their last promotion.
-    fn finish(&mut self) {
+    pub(crate) fn finish(&mut self) {
         for i in 0..self.plan {
             self.g.clear(slot::ENTRY0 + i);
         }
@@ -219,10 +287,10 @@ impl Engine {
 
 /// The remove-side stage context: captures entry `idx`, then runs the rest
 /// of the chain (deeper stages and the commit) via `cont`.
-struct StageRemoveCtx<'a, F> {
-    eng: &'a mut Engine,
-    idx: usize,
-    cont: F,
+pub(crate) struct StageRemoveCtx<'a, F> {
+    pub(crate) eng: &'a mut Engine,
+    pub(crate) idx: usize,
+    pub(crate) cont: F,
 }
 
 impl<T, F> RemoveCtx<T> for StageRemoveCtx<'_, F>
@@ -322,7 +390,7 @@ where
 }
 
 /// Map the outermost remove's outcome to a [`MoveOutcome`].
-fn move_verdict<T>(eng: &Engine, outcome: RemoveOutcome<T>) -> MoveOutcome {
+pub(crate) fn move_verdict<T>(eng: &Engine, outcome: RemoveOutcome<T>) -> MoveOutcome {
     match outcome {
         RemoveOutcome::Removed(_) => MoveOutcome::Moved,
         RemoveOutcome::Empty => MoveOutcome::SourceEmpty,
@@ -377,7 +445,7 @@ where
 }
 
 /// Fan `elem` into every target from stage `idx` on, committing innermost.
-fn fan_out<T, D>(eng: &mut Engine, idx: usize, dsts: &[&D], elem: &T) -> bool
+pub(crate) fn fan_out<T, D>(eng: &mut Engine, idx: usize, dsts: &[&D], elem: &T) -> bool
 where
     T: Clone,
     D: MoveTarget<T> + ?Sized,
@@ -413,7 +481,13 @@ where
     move_verdict(&eng, outcome)
 }
 
-fn fan_out_keyed<K, T, D>(eng: &mut Engine, idx: usize, dsts: &[&D], key: &K, elem: &T) -> bool
+pub(crate) fn fan_out_keyed<K, T, D>(
+    eng: &mut Engine,
+    idx: usize,
+    dsts: &[&D],
+    key: &K,
+    elem: &T,
+) -> bool
 where
     K: Clone,
     T: Clone,

@@ -41,10 +41,13 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod compose;
 pub mod keyed;
 pub mod multi;
+mod sync;
 
+pub use batch::{BatchGate, BatchOp, MoveKeyedOp, MoveKeyedToAllOp, MoveOneOp, SwapOp};
 pub use compose::{
     move_keyed_to_all, move_keyed_to_unkeyed, swap, Composition, SwapOutcome, MAX_ENTRIES,
 };
@@ -88,12 +91,27 @@ pub trait RemoveCtx<T> {
     /// will be removed if the CAS succeeds (available *before* the
     /// linearization point — move-candidate requirement 4).
     fn scas(&mut self, lp: LinPoint<'_>, elem: &T) -> ScasResult;
+
+    /// Whether the operation driven by this context may linearize through
+    /// an *elimination* exchange instead of its structure CAS (PR 7).
+    /// `false` for every composed context: a composition's linearization
+    /// point must be a captured CAS triple — pair cancellation has no word
+    /// to capture. Only [`NormalCas`] (a plain, stand-alone operation)
+    /// opts in.
+    fn eliminable(&self) -> bool {
+        false
+    }
 }
 
 /// Linearization context for insert operations.
 pub trait InsertCtx {
     /// Called at the insert's linearization point.
     fn scas(&mut self, lp: LinPoint<'_>) -> ScasResult;
+
+    /// See [`RemoveCtx::eliminable`].
+    fn eliminable(&self) -> bool {
+        false
+    }
 }
 
 /// The identity context: `scas` is a plain CAS (paper lines M20–M21,
@@ -110,6 +128,11 @@ impl<T> RemoveCtx<T> for NormalCas {
             ScasResult::Fail
         }
     }
+
+    #[inline]
+    fn eliminable(&self) -> bool {
+        true
+    }
 }
 
 impl InsertCtx for NormalCas {
@@ -120,6 +143,11 @@ impl InsertCtx for NormalCas {
         } else {
             ScasResult::Fail
         }
+    }
+
+    #[inline]
+    fn eliminable(&self) -> bool {
+        true
     }
 }
 
@@ -228,6 +256,9 @@ impl<T, X: MoveTarget<T> + Sync> DynMoveTarget<T> for X {
             fn scas(&mut self, lp: LinPoint<'_>) -> ScasResult {
                 self.0.scas(lp)
             }
+            fn eliminable(&self) -> bool {
+                self.0.eliminable()
+            }
         }
         self.insert_with(elem, &mut Fwd(ctx))
     }
@@ -243,4 +274,22 @@ impl<T> MoveTarget<T> for dyn DynMoveTarget<T> + '_ {
 fn assert_traits() {
     fn is_send_sync<X: Send + Sync>() {}
     is_send_sync::<NormalCas>();
+}
+
+/// Seeded-bug switches for the model checker (mirrors
+/// `lfc_hazard::model_toggles`): compiled only under `--cfg lfc_model`,
+/// flipped by scenarios to demonstrate the checker *would* catch the
+/// corresponding protocol regression.
+#[cfg(lfc_model)]
+pub mod model_toggles {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Commit batched requests **without** the result-flag CASN entry and
+    /// publish the flag by a separate CAS afterwards — the naive combiner
+    /// handoff whose window lets two drainers double-execute one request.
+    pub static SKIP_FLAG_ENTRY: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn skip_flag_entry() -> bool {
+        SKIP_FLAG_ENTRY.load(Ordering::Relaxed)
+    }
 }

@@ -192,16 +192,24 @@ pub mod slot {
     pub const ENTRY0: usize = 16;
     /// Number of engine entry slots (one per possible CASN entry).
     pub const ENTRY_COUNT: usize = 6;
+    /// The batched-composition claim protection (PR 7): a submitter parks
+    /// its request node's base address here for the whole submit — push,
+    /// result spin-wait, helping — so the node survives even if the
+    /// submitter is ejected and zombified while waiting (named hazards are
+    /// immune to the zombie tier's birth-era partition, unlike epochs).
+    /// The batch drainer that clears a batch retires its nodes; a waiter's
+    /// CLAIM slot is what makes its final result-word read safe after that.
+    pub const CLAIM: usize = 22;
 }
 
 /// Hazard slots per registered thread.
-pub const SLOTS_PER_THREAD: usize = 22;
+pub const SLOTS_PER_THREAD: usize = 23;
 
 /// One thread's hazard slots, cache-line padded: before padding,
 /// neighbouring threads' banks shared lines in one flat array and every
 /// hazard publication invalidated other threads' cached banks. The
 /// alignment keeps each bank on its own aligned prefetch-pairs of lines
-/// (`22 × 8 = 176` bytes, padded to 256 by the alignment). Since PR 3 the
+/// (`23 × 8 = 184` bytes, padded to 256 by the alignment). Since PR 3 the
 /// hot writers are the `ENTRY*` promotions (every composed capture), the
 /// `DESC`/`HELP*`/`KCAS*` helper slots, and any hazard-style object's
 /// INS*/REM* roles.

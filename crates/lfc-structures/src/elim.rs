@@ -1,0 +1,229 @@
+//! Elimination backoff for the Treiber stack (PR 7).
+//!
+//! A stack's `top` word is a sequential bottleneck: every push and pop
+//! linearizes there. The classic observation (Hendler, Shavit & Yerushalmi)
+//! is that a *colliding* push/pop pair needs no stack at all — the pop may
+//! take the push's element directly, as if the push linearized immediately
+//! before the pop — so contention can be bled off into a side channel that
+//! never touches `top`.
+//!
+//! # Protocol
+//!
+//! The exchanger is a small array of cache-padded slots. A slot holds 0 or
+//! the address of a waiting pusher's **unpublished node** (allocated for
+//! the normal push path, value already written, never linked):
+//!
+//! * **Pusher** (after a failed `top` CAS): CAS its slot `0 → node`
+//!   (Release: publishes the value write). Wait a short window, yielding —
+//!   on an oversubscribed core a collision partner cannot run otherwise.
+//!   If the slot no longer holds `node`, a popper claimed it: the push is
+//!   done and the *popper* owns the node. Otherwise withdraw with a CAS
+//!   `node → 0`: success keeps ownership and resumes the normal loop;
+//!   failure again means a popper claimed it in the window.
+//! * **Popper** (after a failed `top` CAS): scan the slots; on a nonzero
+//!   word `w`, CAS `w → 0` (Acquire: pairs with the pusher's Release).
+//!   Winning the claim transfers *whole-node ownership*: the popper takes
+//!   the value out and frees the node, then returns it as its pop result.
+//!
+//! # Correctness
+//!
+//! *Linearizability*: the claim CAS is the shared linearization point —
+//! the push takes effect immediately before the pop, an order consistent
+//! with both (neither operation had linearized on `top`, and the element
+//! was never visible to anyone else). *Ownership*: a slot only ever
+//! transitions `0 → node` (by the node's owner) and `node → 0` (by owner
+//! withdrawal or popper claim); the CAS makes those mutually exclusive, so
+//! exactly one side owns the node afterwards. *ABA*: a recycled node
+//! address re-posted in the same slot is harmless — the claim hands over
+//! whatever offer is current, and the waiting pusher cannot confuse
+//! another offer for its own while it still owns its node (the address
+//! cannot be reused before the pusher gives it up).
+//!
+//! Compositions never take this path: [`lfc_core::RemoveCtx::eliminable`]
+//! is `false` for every composed context, because a composed operation's
+//! linearization point must be a *captured CAS triple* — a cancelled pair
+//! has no word to capture.
+
+use crate::node::{free_unpublished_node, Node};
+use crate::sync::{spin_loop, yield_now, AtomicUsize, Ordering};
+use lfc_runtime::CachePadded;
+use std::marker::PhantomData;
+
+/// Exchanger width. Small on purpose: elimination only pays on *hot*
+/// stacks, where a handful of slots already catches most collisions, and
+/// poppers scan every slot.
+pub(crate) const ELIM_SLOTS: usize = 4;
+
+/// Rounds a pusher camps on its slot. Mostly yields: the partner popper
+/// must actually run to collide, and on an oversubscribed core a pure spin
+/// only burns the partner's quantum.
+#[cfg(not(lfc_model))]
+const ELIM_WAIT: u32 = 32;
+#[cfg(lfc_model)]
+const ELIM_WAIT: u32 = 2;
+
+/// The padded exchanger array, embedded in each stack.
+pub(crate) struct ElimArray<T> {
+    slots: [CachePadded<AtomicUsize>; ELIM_SLOTS],
+    _marker: PhantomData<T>,
+}
+
+impl<T: Clone + Send + Sync + 'static> ElimArray<T> {
+    pub(crate) fn new() -> Self {
+        ElimArray {
+            slots: std::array::from_fn(|_| CachePadded::new(AtomicUsize::new(0))),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Offer `node` (unpublished, value written) for elimination.
+    ///
+    /// Returns `true` if a popper claimed it — the push is complete and
+    /// the node now belongs to the popper. Returns `false` if the offer
+    /// was withdrawn (or never posted): the caller still owns the node
+    /// and resumes its normal loop.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be unpublished and uniquely owned by the caller.
+    pub(crate) unsafe fn offer_push(&self, node: *mut Node<T>, lane: usize) -> bool {
+        let slot = &self.slots[lane % ELIM_SLOTS];
+        let addr = node as usize;
+        // Release: a claimer's Acquire read of `addr` must see the value
+        // written into the node before the offer.
+        if slot
+            .compare_exchange(0, addr, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        let mut i = 0;
+        while i < ELIM_WAIT {
+            if slot.load(Ordering::Relaxed) != addr {
+                // Claimed: do not touch the node again.
+                counters::note_pair();
+                return true;
+            }
+            if i % 4 == 3 {
+                yield_now();
+            } else {
+                spin_loop();
+            }
+            i += 1;
+        }
+        // Withdraw. Failure means a popper won the claim in the window.
+        let won = slot
+            .compare_exchange(addr, 0, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err();
+        if won {
+            counters::note_pair();
+        }
+        won
+    }
+
+    /// Try to claim any offered push; on success the popper owns the node:
+    /// the value is taken out, the node freed, and the value returned as
+    /// the pop result.
+    pub(crate) fn try_take(&self, lane: usize) -> Option<T> {
+        for k in 0..ELIM_SLOTS {
+            let slot = &self.slots[(lane + k) % ELIM_SLOTS];
+            let w = slot.load(Ordering::Relaxed);
+            if w == 0 {
+                continue;
+            }
+            // Acquire: pairs with the offering pusher's Release, making
+            // the node's value write visible before we read it.
+            if slot
+                .compare_exchange(w, 0, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                let node = w as *mut Node<T>;
+                // Safety: winning the claim CAS transferred exclusive
+                // ownership of the (unpublished) node to us.
+                let val = unsafe { (*(*node).val.get()).take() };
+                // Safety: ours, unpublished.
+                unsafe { free_unpublished_node(node) };
+                return Some(val.expect("offered nodes always hold a value"));
+            }
+        }
+        None
+    }
+
+    /// Whether any slot currently holds an offer (teardown sanity checks).
+    #[cfg(test)]
+    pub(crate) fn is_quiet(&self) -> bool {
+        self.slots.iter().all(|s| s.load(Ordering::Relaxed) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{alloc_node, free_unpublished_node};
+
+    #[test]
+    fn solo_offer_withdraws_cleanly() {
+        let e: ElimArray<u64> = ElimArray::new();
+        let n = alloc_node(Some(5u64));
+        // No popper around: the offer must come back withdrawn and the
+        // caller keeps ownership.
+        assert!(!unsafe { e.offer_push(n, 0) });
+        assert!(e.is_quiet());
+        unsafe { free_unpublished_node(n) };
+    }
+
+    #[test]
+    fn claim_transfers_the_value_and_frees_the_node() {
+        let e: ElimArray<u64> = ElimArray::new();
+        let n = alloc_node(Some(7u64));
+        // Park the offer directly (offer_push would withdraw it before a
+        // same-thread popper could run).
+        e.slots[1]
+            .compare_exchange(0, n as usize, Ordering::Release, Ordering::Relaxed)
+            .unwrap();
+        // The popper scans every lane, whatever its own lane is.
+        assert_eq!(e.try_take(3), Some(7));
+        assert!(e.is_quiet());
+        assert_eq!(e.try_take(0), None);
+    }
+
+    #[test]
+    fn paired_threads_eliminate() {
+        // A parked pusher and a looping popper must eventually collide.
+        let e: std::sync::Arc<ElimArray<u64>> = std::sync::Arc::new(ElimArray::new());
+        let e2 = e.clone();
+        let popper = std::thread::spawn(move || loop {
+            if let Some(v) = e2.try_take(0) {
+                return v;
+            }
+            std::thread::yield_now();
+        });
+        let mut v = 41u64;
+        loop {
+            v += 1;
+            let n = alloc_node(Some(v));
+            if unsafe { e.offer_push(n, 0) } {
+                break;
+            }
+            unsafe { free_unpublished_node(n) };
+        }
+        assert_eq!(popper.join().unwrap(), v);
+        assert!(e.is_quiet());
+    }
+}
+
+/// Elimination tallies (plain `std` atomics, diagnostics only).
+pub mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static PAIRS: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn note_pair() {
+        PAIRS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Push/pop pairs cancelled through the exchanger (process-wide).
+    pub fn eliminated_pairs() -> u64 {
+        PAIRS.load(Ordering::Relaxed)
+    }
+}

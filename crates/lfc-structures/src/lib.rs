@@ -19,6 +19,7 @@ mod node;
 #[doc(hidden)]
 pub mod sync;
 
+pub mod elim;
 pub mod hash_map;
 pub mod locked;
 pub mod ms_queue;
@@ -36,6 +37,22 @@ pub use ordered_list::OrderedSet;
 pub use plain::{PlainMsQueue, PlainTreiberStack};
 pub use stamped::StampedStack;
 pub use treiber::TreiberStack;
+
+/// Seeded-bug / exploration switches for the model checker (mirrors
+/// `lfc_hazard::model_toggles`): compiled only under `--cfg lfc_model`.
+#[cfg(lfc_model)]
+pub mod model_toggles {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Route plain stack push/pop through the elimination exchanger
+    /// *before* the `top` CAS, so the model scenario reaches collision
+    /// interleavings without having to manufacture CAS failures first.
+    pub static FORCE_ELIM: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn force_elim() -> bool {
+        FORCE_ELIM.load(Ordering::Relaxed)
+    }
+}
 
 #[cfg(test)]
 pub(crate) mod test_util {

@@ -8,6 +8,7 @@
 //! the same `top` word — a case a two-word CAS cannot express; the move
 //! layer detects it and reports [`lfc_core::MoveOutcome::WouldAlias`].
 
+use crate::elim::ElimArray;
 use crate::node::{
     alloc_node, alloc_solo_header, clone_val, free_unpublished_node, retire_node,
     retire_solo_header, Node, SoloHeader,
@@ -21,9 +22,19 @@ use lfc_runtime::{Backoff, BackoffCfg};
 use std::ptr::NonNull;
 
 /// A move-ready Treiber lock-free LIFO stack.
+///
+/// Since PR 7 the stack carries an embedded elimination exchanger
+/// ([`crate::elim`]): a plain push and a plain pop that both failed their
+/// `top` CAS may cancel each other through a side slot without ever
+/// touching `top`. Composed operations never eliminate
+/// ([`RemoveCtx::eliminable`] is `false` for composed contexts), and the
+/// uncontended path is untouched — elimination is only attempted after a
+/// CAS failure.
 pub struct TreiberStack<T: Clone + Send + Sync + 'static> {
     header: NonNull<SoloHeader>,
     backoff: BackoffCfg,
+    elim: ElimArray<T>,
+    elim_enabled: bool,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -42,8 +53,19 @@ impl<T: Clone + Send + Sync + 'static> TreiberStack<T> {
         TreiberStack {
             header: alloc_solo_header(0),
             backoff: cfg,
+            elim: ElimArray::new(),
+            elim_enabled: true,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Empty stack with the elimination layer disabled — the PR 6 behaviour,
+    /// kept for baseline measurements and tests that need every operation
+    /// to linearize on `top`.
+    pub fn without_elimination() -> Self {
+        let mut s = Self::new();
+        s.elim_enabled = false;
+        s
     }
 
     #[inline]
@@ -105,6 +127,16 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
     fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
         let g = pin();
         let node = alloc_node(Some(elem)); // S2–S3
+        #[cfg(lfc_model)]
+        if self.elim_enabled && ctx.eliminable() && crate::model_toggles::force_elim() {
+            // Deterministic-exploration hook: collide in the exchanger
+            // *before* touching `top`, so the model scenario reaches the
+            // pairing interleavings within its budget.
+            // Safety: node unpublished, ours.
+            if unsafe { self.elim.offer_push(node, g.tid() as usize) } {
+                return InsertOutcome::Inserted;
+            }
+        }
         let mut bo = Backoff::new(self.backoff);
         loop {
             let ltop = self.top().read(&g); // S5
@@ -125,7 +157,20 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
                     return InsertOutcome::Rejected;
                 }
                 ScasResult::Success => return InsertOutcome::Inserted, // S11–S12
-                ScasResult::Fail => bo.fail(),
+                ScasResult::Fail => {
+                    // Contention observed: offer the (still unpublished)
+                    // node for elimination before backing off. A claimed
+                    // offer completes the push — the colliding pop
+                    // linearized it — and hands node ownership to the
+                    // popper.
+                    if self.elim_enabled && ctx.eliminable() {
+                        // Safety: node unpublished, ours until claimed.
+                        if unsafe { self.elim.offer_push(node, g.tid() as usize) } {
+                            return InsertOutcome::Inserted;
+                        }
+                    }
+                    bo.fail()
+                }
             }
         }
     }
@@ -138,6 +183,12 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for TreiberStack<T> {
     /// the S22 CAS cannot ABA onto a reallocated block.
     fn remove_with<C: RemoveCtx<T>>(&self, ctx: &mut C) -> RemoveOutcome<T> {
         let mut g = pin_op();
+        #[cfg(lfc_model)]
+        if self.elim_enabled && ctx.eliminable() && crate::model_toggles::force_elim() {
+            if let Some(v) = self.elim.try_take(g.tid() as usize) {
+                return RemoveOutcome::Removed(v);
+            }
+        }
         let mut bo = Backoff::new(self.backoff);
         loop {
             // Ejection check (PR 6): the retry head holds no pointers, so
@@ -171,7 +222,16 @@ impl<T: Clone + Send + Sync + 'static> MoveSource<T> for TreiberStack<T> {
                     unsafe { retire_node(node) };
                     return RemoveOutcome::Removed(val);
                 }
-                ScasResult::Fail => bo.fail(),
+                ScasResult::Fail => {
+                    // Contention observed: try to cancel against a waiting
+                    // pusher instead of re-fighting over `top`.
+                    if self.elim_enabled && ctx.eliminable() {
+                        if let Some(v) = self.elim.try_take(g.tid() as usize) {
+                            return RemoveOutcome::Removed(v);
+                        }
+                    }
+                    bo.fail()
+                }
                 ScasResult::Abort => return RemoveOutcome::Aborted,
             }
         }
