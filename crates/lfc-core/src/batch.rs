@@ -71,12 +71,17 @@
 //!
 //! # Adaptivity
 //!
-//! The gate keeps a racy *heat* counter. While cool, submits run the plain
-//! composition directly with a small commit-failure budget
-//! ([`compose::Engine`]'s `fail_budget`); an attempt that burns the budget
-//! marks the gate hot and falls back to the batched path. Successes cool
-//! it back down. The uncontended solo fast path therefore never touches
-//! the claim list, preserving single-thread latency.
+//! The gate keeps a racy *heat* counter (saturating relaxed RMWs). While
+//! cool, submits run the plain composition directly with a small
+//! commit-failure budget ([`compose::Engine`]'s `fail_budget`); an attempt
+//! that burns the budget warms the gate and falls back to the batched
+//! path. Cooling happens on **both** regimes — a direct success decays the
+//! counter, and so does every fully drained batch (charged once, to the
+//! drain's unique clear winner) — so a hot gate, whose submits never run
+//! direct attempts, still cools back under the hot threshold once
+//! contention subsides and returns to the solo fast path. The uncontended path
+//! therefore never touches the claim list, preserving single-thread
+//! latency.
 
 use crate::compose::{
     fan_out_keyed, move_verdict, run_insert, run_insert_keyed, run_remove, Engine, StageRemoveCtx,
@@ -767,16 +772,22 @@ impl<R: BatchOp> BatchGate<R> {
         self.header.as_ptr() as usize
     }
 
+    /// Saturating RMWs (not load+store pairs): a heuristic may be racy in
+    /// *when* it reacts, but a lost `warm` would delay the batched
+    /// fallback under exactly the contention it exists to detect, so the
+    /// counter tracks contention monotonically. Relaxed is still fine —
+    /// no protocol decision's correctness rides on the value.
     fn warm(&self) {
-        let h = self.heat.load(SOrd::Relaxed);
-        self.heat.store((h + 3).min(HEAT_MAX), SOrd::Relaxed);
+        let _ = self
+            .heat
+            .fetch_update(SOrd::Relaxed, SOrd::Relaxed, |h| Some((h + 3).min(HEAT_MAX)));
     }
 
     fn cool(&self) {
-        let h = self.heat.load(SOrd::Relaxed);
-        if h > 0 {
-            self.heat.store(h - 1, SOrd::Relaxed);
-        }
+        // `None` on zero: saturate without dirtying the shared line.
+        let _ = self
+            .heat
+            .fetch_update(SOrd::Relaxed, SOrd::Relaxed, |h| h.checked_sub(1));
     }
 
     /// Submit a request and wait (helping, never blocking) for its result
@@ -915,6 +926,17 @@ impl<R: BatchOp> BatchGate<R> {
         }
         if all_done && self.header().batch.cas_word(b, 0) {
             counters::note_batch_drained();
+            // The cooling half of the gate's hysteresis: the direct path
+            // only cools on *direct* successes, but a hot gate never runs
+            // direct attempts, so without this the gate could never
+            // return from the batched regime. One decay per drained batch
+            // (charged to the unique clear winner, not to every
+            // submitter) keeps the probe overhead amortized: contention
+            // holds the gate hot via `warm` (+3 per starved probe) faster
+            // than drains cool it (−1 per batch), while a subsiding load
+            // walks heat back under `HEAT_HOT` and re-opens the solo fast
+            // path.
+            self.cool();
             // Safety: winning the clear CAS unlinked the chain; waiters
             // still reading their flags hold CLAIM hazards, helpers hold
             // the flag entries' hp — retire defers past all of them.
@@ -1114,6 +1136,70 @@ where
     }
     fn run_flagged(&self, flag: &DAtomic, node_hp: usize) -> Option<Word> {
         flagged_swap(self.a, self.b, flag, node_hp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal request: the direct path always succeeds, the flagged path
+    /// resolves by the plain finalize CAS. Enough to drive the gate's
+    /// submit/claim/drain machinery without any structure behind it.
+    #[derive(Clone, Copy)]
+    struct NoopOp;
+
+    const TEST_DONE: Word = 8; // nonzero multiple of 8: a valid raw word
+
+    impl BatchOp for NoopOp {
+        fn try_direct(&self, _fail_budget: u32) -> Option<Word> {
+            Some(TEST_DONE)
+        }
+        fn run_flagged(&self, flag: &DAtomic, _node_hp: usize) -> Option<Word> {
+            finalize(flag, TEST_DONE)
+        }
+    }
+
+    #[test]
+    fn heat_saturates_at_both_ends() {
+        let gate: BatchGate<NoopOp> = BatchGate::new();
+        for _ in 0..10 {
+            gate.warm();
+        }
+        assert_eq!(gate.heat.load(SOrd::Relaxed), HEAT_MAX);
+        for _ in 0..(HEAT_MAX + 5) {
+            gate.cool();
+        }
+        assert_eq!(gate.heat.load(SOrd::Relaxed), 0);
+    }
+
+    #[test]
+    fn drained_batches_cool_a_hot_gate() {
+        // Regression net for the one-way heat gate: a hot gate skips every
+        // direct attempt, so only the batched path can cool it — each
+        // fully drained batch must decay the counter, or one contention
+        // burst pins the gate batched forever.
+        let gate: BatchGate<NoopOp> = BatchGate::new();
+        for _ in 0..6 {
+            gate.warm();
+        }
+        assert!(gate.heat.load(SOrd::Relaxed) >= HEAT_HOT, "gate must start hot");
+        let mut submits = 0u32;
+        while gate.heat.load(SOrd::Relaxed) >= HEAT_HOT {
+            assert_eq!(gate.submit(NoopOp), TEST_DONE);
+            submits += 1;
+            assert!(
+                submits <= HEAT_MAX + 1,
+                "batched submits never cooled the gate"
+            );
+        }
+        // Back under the threshold: submits run (and succeed on) the
+        // direct path again, cooling further.
+        let h = gate.heat.load(SOrd::Relaxed);
+        let direct_before = counters::direct_ops();
+        assert_eq!(gate.submit(NoopOp), TEST_DONE);
+        assert!(gate.heat.load(SOrd::Relaxed) < h);
+        assert!(counters::direct_ops() > direct_before);
     }
 }
 

@@ -133,7 +133,7 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
             // *before* touching `top`, so the model scenario reaches the
             // pairing interleavings within its budget.
             // Safety: node unpublished, ours.
-            if unsafe { self.elim.offer_push(node, g.tid() as usize) } {
+            if unsafe { self.elim.offer_push(node, &g, g.tid() as usize) } {
                 return InsertOutcome::Inserted;
             }
         }
@@ -165,7 +165,7 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
                     // popper.
                     if self.elim_enabled && ctx.eliminable() {
                         // Safety: node unpublished, ours until claimed.
-                        if unsafe { self.elim.offer_push(node, g.tid() as usize) } {
+                        if unsafe { self.elim.offer_push(node, &g, g.tid() as usize) } {
                             return InsertOutcome::Inserted;
                         }
                     }
