@@ -175,30 +175,54 @@ fn class_layout(class: usize) -> Layout {
     Layout::from_size_align(c, c).expect("class sizes are power-of-two")
 }
 
+/// Allocation failure: the system allocator returned null, or the
+/// `alloc.block` fault site fired (`lfc_runtime::fault`). Surfaced through
+/// every `try_*` operation in the stack instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError;
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("lfc-alloc: block allocation failed")
+    }
+}
+
+impl std::error::Error for AllocError {}
+
 /// Allocate a block that satisfies `layout`.
 ///
-/// Never returns null; aborts on system-allocator failure (consistent with
-/// `std` collection behaviour).
+/// Never returns null; panics (unwinds — it does **not** abort, so a
+/// caller under `catch_unwind` keeps the global state helpable) on
+/// allocation failure. Fallible callers use [`try_alloc_block`].
 pub fn alloc_block(layout: Layout) -> NonNull<u8> {
+    try_alloc_block(layout).unwrap_or_else(|_| panic!("lfc-alloc: allocation of {layout:?} failed"))
+}
+
+/// Fallible [`alloc_block`]: returns `Err(AllocError)` when the system
+/// allocator fails or the `alloc.block` fault-injection site fires.
+pub fn try_alloc_block(layout: Layout) -> Result<NonNull<u8>, AllocError> {
+    if lfc_runtime::fault::check("alloc.block") {
+        return Err(AllocError);
+    }
     if thread_is_exiting() {
         // Thread-exit fallback: no per-thread cache may be (re)created now.
         let Some(class) = class_for(layout) else {
             OVERSIZE.fetch_add(1, Ordering::Relaxed);
             // Safety: non-zero size.
             let p = unsafe { std::alloc::alloc(layout) };
-            return NonNull::new(p).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+            return NonNull::new(p).ok_or(AllocError);
         };
         FRESH.fetch_add(1, Ordering::Relaxed);
         let l = class_layout(class);
         // Safety: non-zero size.
         let p = unsafe { std::alloc::alloc(l) };
-        return NonNull::new(p).unwrap_or_else(|| std::alloc::handle_alloc_error(l));
+        return NonNull::new(p).ok_or(AllocError);
     }
     let Some(class) = class_for(layout) else {
         OVERSIZE.fetch_add(1, Ordering::Relaxed);
         // Safety: oversized layouts always have non-zero size here.
         let p = unsafe { std::alloc::alloc(layout) };
-        return NonNull::new(p).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        return NonNull::new(p).ok_or(AllocError);
     };
     let recycled = with_mags(|m| {
         if let Some(p) = m.local[class].pop() {
@@ -214,14 +238,14 @@ pub fn alloc_block(layout: Layout) -> NonNull<u8> {
         Some(p) => {
             RECYCLED.fetch_add(1, Ordering::Relaxed);
             // Safety: recycled blocks came from `alloc` with the class layout.
-            NonNull::new(p).expect("pool never stores null")
+            Ok(NonNull::new(p).expect("pool never stores null"))
         }
         None => {
             FRESH.fetch_add(1, Ordering::Relaxed);
             let l = class_layout(class);
             // Safety: class layouts have non-zero size.
             let p = unsafe { std::alloc::alloc(l) };
-            NonNull::new(p).unwrap_or_else(|| std::alloc::handle_alloc_error(l))
+            NonNull::new(p).ok_or(AllocError)
         }
     }
 }

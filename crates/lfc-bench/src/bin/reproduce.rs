@@ -184,6 +184,34 @@ fn run_bench_capture(args: &[String]) {
                 ("scans".into(), Json::int(lfc_hazard::scan_count() as u64)),
                 ("ejections".into(), Json::int(ejections as u64)),
                 ("zombies".into(), Json::int(zombies as u64)),
+                // Fault/robustness diagnostics (PR 8): helper-side protocol
+                // completions (organic read-helping + corpse adoptions) and
+                // the per-site fault-injection counters — all zeros on an
+                // unfaulted run, so any nonzero here flags an armed site
+                // leaking into a perf capture.
+                (
+                    "helped_completions".into(),
+                    Json::int(lfc_dcas::helped_completions() as u64),
+                ),
+                (
+                    "abandoned_threads".into(),
+                    Json::int(lfc_runtime::fault::abandoned_total() as u64),
+                ),
+                (
+                    "fault_counters".into(),
+                    Json::Arr(
+                        lfc_runtime::fault::counters()
+                            .into_iter()
+                            .map(|(site, checks, fired)| {
+                                Json::Obj(vec![
+                                    ("site".into(), Json::str(site)),
+                                    ("checks".into(), Json::int(checks)),
+                                    ("fired".into(), Json::int(fired)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     ]);

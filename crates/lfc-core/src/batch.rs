@@ -609,8 +609,13 @@ struct BatchNode<R> {
     req: R,
 }
 
-fn alloc_batch_node<R: BatchOp>(req: R) -> *mut BatchNode<R> {
-    let p = lfc_alloc::alloc_block(Layout::new::<BatchNode<R>>()).cast::<BatchNode<R>>();
+fn try_alloc_batch_node<R: BatchOp>(req: R) -> Result<*mut BatchNode<R>, lfc_alloc::AllocError> {
+    // Site check ahead of the allocator so injection reaches this path
+    // independently of `"alloc.block"`.
+    if lfc_runtime::fault::check("batch.node") {
+        return Err(lfc_alloc::AllocError);
+    }
+    let p = lfc_alloc::try_alloc_block(Layout::new::<BatchNode<R>>())?.cast::<BatchNode<R>>();
     // Safety: fresh, correctly sized and aligned block.
     unsafe {
         p.as_ptr().write(BatchNode {
@@ -621,7 +626,7 @@ fn alloc_batch_node<R: BatchOp>(req: R) -> *mut BatchNode<R> {
         });
     }
     debug_assert_eq!(p.as_ptr() as usize & 0b111, 0);
-    p.as_ptr()
+    Ok(p.as_ptr())
 }
 
 /// Reclaimer *and* zombie-tier divert: `R: Copy` means no drop glue, so
@@ -740,7 +745,30 @@ impl<R: BatchOp> BatchGate<R> {
     /// failures before falling back to the batched path. `0` disables the
     /// direct path entirely (see [`BatchGate::always_batched`]).
     pub fn with_direct_budget(budget: u32) -> Self {
+        // No `"batch.gate"` site check here: the infallible constructor
+        // keeps working while injection is armed (only `try_*` surfaces
+        // injected failures).
         let p = lfc_alloc::alloc_block(Layout::new::<GateHeader>()).cast::<GateHeader>();
+        Self::from_header(p, budget)
+    }
+
+    /// Fallible [`new`](Self::new): gate-header allocation failure
+    /// (injected at the `"batch.gate"` site, or genuine exhaustion)
+    /// surfaces as `Err`.
+    pub fn try_new() -> Result<Self, lfc_alloc::AllocError> {
+        Self::try_with_direct_budget(DEFAULT_DIRECT_BUDGET)
+    }
+
+    /// Fallible [`with_direct_budget`](Self::with_direct_budget).
+    pub fn try_with_direct_budget(budget: u32) -> Result<Self, lfc_alloc::AllocError> {
+        if lfc_runtime::fault::check("batch.gate") {
+            return Err(lfc_alloc::AllocError);
+        }
+        let p = lfc_alloc::try_alloc_block(Layout::new::<GateHeader>())?.cast::<GateHeader>();
+        Ok(Self::from_header(p, budget))
+    }
+
+    fn from_header(p: NonNull<GateHeader>, budget: u32) -> Self {
         // Safety: fresh block.
         unsafe {
             p.as_ptr().write(GateHeader {
@@ -778,9 +806,9 @@ impl<R: BatchOp> BatchGate<R> {
     /// counter tracks contention monotonically. Relaxed is still fine —
     /// no protocol decision's correctness rides on the value.
     fn warm(&self) {
-        let _ = self
-            .heat
-            .fetch_update(SOrd::Relaxed, SOrd::Relaxed, |h| Some((h + 3).min(HEAT_MAX)));
+        let _ = self.heat.fetch_update(SOrd::Relaxed, SOrd::Relaxed, |h| {
+            Some((h + 3).min(HEAT_MAX))
+        });
     }
 
     fn cool(&self) {
@@ -809,7 +837,20 @@ impl<R: BatchOp> BatchGate<R> {
 
     fn submit_batched(&self, req: R) -> Word {
         counters::note_batched();
-        let node = alloc_batch_node(req);
+        let node = match try_alloc_batch_node(req) {
+            Ok(n) => n,
+            Err(_) => {
+                // No memory for a request node: degrade to direct execution
+                // with an effectively unbounded commit budget. Lock-free
+                // (each failed commit means a rival made progress); only
+                // the batching optimization is lost under pressure.
+                loop {
+                    if let Some(w) = req.try_direct(u32::MAX) {
+                        return w;
+                    }
+                }
+            }
+        };
         let addr = node as usize;
         let g = pin();
         debug_assert_eq!(g.get(slot::CLAIM), 0, "batched submits do not nest");
@@ -824,6 +865,12 @@ impl<R: BatchOp> BatchGate<R> {
             // Safety: unpublished, uniquely owned until the CAS below.
             unsafe { (*node).next.store(h, Ordering::Release) };
             if self.header().incoming.cas_word(h, addr) {
+                // Killable (fault-injection) only once the request is
+                // published: any later claimer drains and executes it, so
+                // a submitter's death here leaves a request the *gate
+                // traffic itself* completes — the corpse's CLAIM hazard
+                // keeps the node alive until adoption clears its bank.
+                lfc_runtime::fault::check_kill("batch.submitted");
                 let result = self.await_done(&g, node, h == 0);
                 g.clear(slot::CLAIM);
                 return result;
@@ -1183,7 +1230,10 @@ mod tests {
         for _ in 0..6 {
             gate.warm();
         }
-        assert!(gate.heat.load(SOrd::Relaxed) >= HEAT_HOT, "gate must start hot");
+        assert!(
+            gate.heat.load(SOrd::Relaxed) >= HEAT_HOT,
+            "gate must start hot"
+        );
         let mut submits = 0u32;
         while gate.heat.load(SOrd::Relaxed) >= HEAT_HOT {
             assert_eq!(gate.submit(NoopOp), TEST_DONE);

@@ -69,7 +69,8 @@ use crate::{
     InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint, MoveOutcome, MoveSource,
     MoveTarget, RemoveCtx, RemoveOutcome, ScasResult,
 };
-use lfc_dcas::{commit_entries, CasnEntry, CasnResult, DAtomic};
+use lfc_alloc::AllocError;
+use lfc_dcas::{commit_entries, try_commit_entries, CasnEntry, CasnResult, DAtomic};
 use lfc_hazard::{pin, slot, Guard};
 
 pub use lfc_dcas::MAX_ENTRIES;
@@ -114,6 +115,17 @@ pub struct Engine {
     /// Whether the composition aborted because `fail_budget` ran out
     /// (contention starvation), as opposed to a semantic rejection.
     starved: bool,
+    /// Commit through [`try_commit_entries`], recording allocation failure
+    /// in `oom` instead of panicking (the `try_*` composition entry
+    /// points).
+    fallible: bool,
+    /// A fallible commit failed to allocate; the composition aborted with
+    /// nothing changed and the entry point surfaces `Err(AllocError)`.
+    oom: bool,
+    /// Set by [`Engine::finish`]; an engine dropped without it is
+    /// unwinding (panicking element `Clone`, injected abandonment) and
+    /// cleans its ENTRY protections in `Drop`.
+    finished: bool,
 }
 
 impl Engine {
@@ -134,7 +146,23 @@ impl Engine {
             dead: None,
             fail_budget: None,
             starved: false,
+            fallible: false,
+            oom: false,
+            finished: false,
         }
+    }
+
+    /// An engine whose commits surface allocation failure through
+    /// [`Engine::oom`] instead of panicking (the `try_*` entry points).
+    pub(crate) fn new_fallible(plan: usize) -> Engine {
+        let mut eng = Engine::new(plan);
+        eng.fallible = true;
+        eng
+    }
+
+    /// Whether a fallible commit aborted on allocation failure.
+    pub(crate) fn oom(&self) -> bool {
+        self.oom
     }
 
     /// A budgeted engine for the batched front-end's direct attempts (see
@@ -210,7 +238,22 @@ impl Engine {
         // hazards (plus the ENTRY* handoff slots) keep alive through this
         // call, and `capture` rejects aliased words, so the entries are
         // pairwise distinct.
-        match unsafe { commit_entries(&self.entries[..self.count], &self.g) } {
+        let r = if self.fallible {
+            match unsafe { try_commit_entries(&self.entries[..self.count], &self.g) } {
+                Ok(r) => r,
+                Err(_) => {
+                    // Descriptor/RDCSS allocation failed with no word left
+                    // changed. `retry_at` stays `None` and `no_commit` is
+                    // false, so `resolve` aborts every stage and the entry
+                    // point reports `Err(AllocError)`.
+                    self.oom = true;
+                    return false;
+                }
+            }
+        } else {
+            unsafe { commit_entries(&self.entries[..self.count], &self.g) }
+        };
+        match r {
             CasnResult::Success => true,
             CasnResult::FailedAt(k) => {
                 self.retry_at = Some(k);
@@ -279,6 +322,30 @@ impl Engine {
     /// cleared (not just `count`): a commit failure rewinds `count` while
     /// deeper entries' slots may still hold their last promotion.
     pub(crate) fn finish(&mut self) {
+        self.finished = true;
+        for i in 0..self.plan {
+            self.g.clear(slot::ENTRY0 + i);
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Every entry point calls `finish` on the normal return path, so
+        // reaching here without it means the composition is unwinding —
+        // most likely out of a user element's panicking `Clone`, or an
+        // injected abandonment (`lfc_runtime::fault`). Leaving ENTRY slots
+        // published would silently pin their allocations forever.
+        if self.finished {
+            return;
+        }
+        if lfc_runtime::fault::thread_is_abandoning() {
+            // A corpse's ENTRY protections must persist: helpers completing
+            // its announced commit validate against the initiator's hazards
+            // (Lemma 6). The whole bank is cleared when the corpse is
+            // adopted (`lfc_hazard`'s tid finalizer).
+            return;
+        }
         for i in 0..self.plan {
             self.g.clear(slot::ENTRY0 + i);
         }
@@ -404,32 +471,59 @@ pub(crate) fn move_verdict<T>(eng: &Engine, outcome: RemoveOutcome<T>) -> MoveOu
     }
 }
 
+/// Shared epilogue of every composition entry point: release protections,
+/// then surface either the allocation failure (fallible engines) or the
+/// mapped verdict.
+fn conclude<T>(mut eng: Engine, outcome: RemoveOutcome<T>) -> Result<MoveOutcome, AllocError> {
+    eng.finish();
+    if eng.oom() {
+        return Err(AllocError);
+    }
+    Ok(move_verdict(&eng, outcome))
+}
+
 /// `move_one` over the engine: remove at stage 0, insert at stage 1.
-pub(crate) fn move_one_impl<T, S, D>(src: &S, dst: &D) -> MoveOutcome
+pub(crate) fn move_one_impl<T, S, D>(
+    src: &S,
+    dst: &D,
+    fallible: bool,
+) -> Result<MoveOutcome, AllocError>
 where
     T: Clone,
     S: MoveSource<T> + ?Sized,
     D: MoveTarget<T> + ?Sized,
 {
-    let mut eng = Engine::new(2);
+    let mut eng = if fallible {
+        Engine::new_fallible(2)
+    } else {
+        Engine::new(2)
+    };
     let outcome = src.remove_with(&mut StageRemoveCtx {
         eng: &mut eng,
         idx: 0,
         cont: |eng: &mut Engine, elem: &T| run_insert(eng, 1, dst, elem.clone(), Engine::commit),
     });
-    eng.finish();
-    move_verdict(&eng, outcome)
+    conclude(eng, outcome)
 }
 
 /// `move_keyed` over the engine.
-pub(crate) fn move_keyed_impl<K, T, S, D>(src: &S, key: &K, dst: &D) -> MoveOutcome
+pub(crate) fn move_keyed_impl<K, T, S, D>(
+    src: &S,
+    key: &K,
+    dst: &D,
+    fallible: bool,
+) -> Result<MoveOutcome, AllocError>
 where
     K: Clone,
     T: Clone,
     S: KeyedMoveSource<K, T> + ?Sized,
     D: KeyedMoveTarget<K, T> + ?Sized,
 {
-    let mut eng = Engine::new(2);
+    let mut eng = if fallible {
+        Engine::new_fallible(2)
+    } else {
+        Engine::new(2)
+    };
     let outcome = src.remove_key_with(
         key,
         &mut StageRemoveCtx {
@@ -440,8 +534,7 @@ where
             },
         },
     );
-    eng.finish();
-    move_verdict(&eng, outcome)
+    conclude(eng, outcome)
 }
 
 /// Fan `elem` into every target from stage `idx` on, committing innermost.
@@ -461,7 +554,11 @@ where
 }
 
 /// `move_to_all` over the engine.
-pub(crate) fn move_to_all_impl<T, S, D>(src: &S, dsts: &[&D]) -> MoveOutcome
+pub(crate) fn move_to_all_impl<T, S, D>(
+    src: &S,
+    dsts: &[&D],
+    fallible: bool,
+) -> Result<MoveOutcome, AllocError>
 where
     T: Clone,
     S: MoveSource<T> + ?Sized,
@@ -471,14 +568,17 @@ where
         !dsts.is_empty() && dsts.len() <= MAX_TARGETS,
         "move_to_all supports 1..={MAX_TARGETS} targets"
     );
-    let mut eng = Engine::new(1 + dsts.len());
+    let mut eng = if fallible {
+        Engine::new_fallible(1 + dsts.len())
+    } else {
+        Engine::new(1 + dsts.len())
+    };
     let outcome = src.remove_with(&mut StageRemoveCtx {
         eng: &mut eng,
         idx: 0,
         cont: |eng: &mut Engine, elem: &T| fan_out(eng, 1, dsts, elem),
     });
-    eng.finish();
-    move_verdict(&eng, outcome)
+    conclude(eng, outcome)
 }
 
 pub(crate) fn fan_out_keyed<K, T, D>(
@@ -524,11 +624,49 @@ where
     S: KeyedMoveSource<K, T> + ?Sized,
     D: KeyedMoveTarget<K, T> + ?Sized,
 {
+    match move_keyed_to_all_impl(src, key, dsts, false) {
+        Ok(o) => o,
+        Err(_) => unreachable!("infallible engine cannot report OOM"),
+    }
+}
+
+/// Fallible [`move_keyed_to_all`]: descriptor allocation failure surfaces
+/// as `Err` with nothing changed anywhere.
+pub fn try_move_keyed_to_all<K, T, S, D>(
+    src: &S,
+    key: &K,
+    dsts: &[&D],
+) -> Result<MoveOutcome, AllocError>
+where
+    K: Clone,
+    T: Clone,
+    S: KeyedMoveSource<K, T> + ?Sized,
+    D: KeyedMoveTarget<K, T> + ?Sized,
+{
+    move_keyed_to_all_impl(src, key, dsts, true)
+}
+
+fn move_keyed_to_all_impl<K, T, S, D>(
+    src: &S,
+    key: &K,
+    dsts: &[&D],
+    fallible: bool,
+) -> Result<MoveOutcome, AllocError>
+where
+    K: Clone,
+    T: Clone,
+    S: KeyedMoveSource<K, T> + ?Sized,
+    D: KeyedMoveTarget<K, T> + ?Sized,
+{
     assert!(
         !dsts.is_empty() && dsts.len() <= MAX_TARGETS,
         "move_keyed_to_all supports 1..={MAX_TARGETS} targets"
     );
-    let mut eng = Engine::new(1 + dsts.len());
+    let mut eng = if fallible {
+        Engine::new_fallible(1 + dsts.len())
+    } else {
+        Engine::new(1 + dsts.len())
+    };
     let outcome = src.remove_key_with(
         key,
         &mut StageRemoveCtx {
@@ -537,8 +675,7 @@ where
             cont: |eng: &mut Engine, elem: &T| fan_out_keyed(eng, 1, dsts, key, elem),
         },
     );
-    eng.finish();
-    move_verdict(&eng, outcome)
+    conclude(eng, outcome)
 }
 
 /// Atomically move the element stored under `key` in a *keyed* source into
@@ -556,6 +693,23 @@ where
     Composition::moving_key_from(src, key)
         .into_target(dst)
         .run()
+}
+
+/// Fallible [`move_keyed_to_unkeyed`].
+pub fn try_move_keyed_to_unkeyed<K, T, S, D>(
+    src: &S,
+    key: &K,
+    dst: &D,
+) -> Result<MoveOutcome, AllocError>
+where
+    K: Clone,
+    T: Clone,
+    S: KeyedMoveSource<K, T> + ?Sized,
+    D: MoveTarget<T> + ?Sized,
+{
+    Composition::moving_key_from(src, key)
+        .into_target(dst)
+        .try_run()
 }
 
 /// Outcome of a composed [`swap`].
@@ -594,7 +748,34 @@ where
     A: MoveSource<T> + MoveTarget<T> + ?Sized,
     B: MoveSource<T> + MoveTarget<T> + ?Sized,
 {
-    let mut eng = Engine::new(4);
+    match swap_impl(a, b, false) {
+        Ok(o) => o,
+        Err(_) => unreachable!("infallible engine cannot report OOM"),
+    }
+}
+
+/// Fallible [`swap`]: descriptor allocation failure surfaces as `Err`
+/// with both objects untouched.
+pub fn try_swap<T, A, B>(a: &A, b: &B) -> Result<SwapOutcome, AllocError>
+where
+    T: Clone,
+    A: MoveSource<T> + MoveTarget<T> + ?Sized,
+    B: MoveSource<T> + MoveTarget<T> + ?Sized,
+{
+    swap_impl(a, b, true)
+}
+
+fn swap_impl<T, A, B>(a: &A, b: &B, fallible: bool) -> Result<SwapOutcome, AllocError>
+where
+    T: Clone,
+    A: MoveSource<T> + MoveTarget<T> + ?Sized,
+    B: MoveSource<T> + MoveTarget<T> + ?Sized,
+{
+    let mut eng = if fallible {
+        Engine::new_fallible(4)
+    } else {
+        Engine::new(4)
+    };
     let outcome = a.remove_with(&mut StageRemoveCtx {
         eng: &mut eng,
         idx: 0,
@@ -607,7 +788,10 @@ where
         },
     });
     eng.finish();
-    match outcome {
+    if eng.oom() {
+        return Err(AllocError);
+    }
+    Ok(match outcome {
         RemoveOutcome::Removed(_) => SwapOutcome::Swapped,
         RemoveOutcome::Empty => SwapOutcome::FirstEmpty,
         RemoveOutcome::Aborted => {
@@ -619,7 +803,7 @@ where
                 SwapOutcome::Rejected
             }
         }
-    }
+    })
 }
 
 mod sealed {
@@ -811,18 +995,34 @@ where
     /// Execute the composition. Lock-free and linearizable when every
     /// object involved is a lock-free move-ready object.
     pub fn run(&self) -> MoveOutcome {
+        match self.run_impl(false) {
+            Ok(o) => o,
+            Err(_) => unreachable!("infallible engine cannot report OOM"),
+        }
+    }
+
+    /// Fallible [`run`](Self::run): descriptor allocation failure surfaces
+    /// as `Err` with nothing changed anywhere.
+    pub fn try_run(&self) -> Result<MoveOutcome, AllocError> {
+        self.run_impl(true)
+    }
+
+    fn run_impl(&self, fallible: bool) -> Result<MoveOutcome, AllocError> {
         assert!(
             (1..=MAX_TARGETS).contains(&C::LEN),
             "a composition takes 1..={MAX_TARGETS} insert stages"
         );
-        let mut eng = Engine::new(1 + C::LEN);
+        let mut eng = if fallible {
+            Engine::new_fallible(1 + C::LEN)
+        } else {
+            Engine::new(1 + C::LEN)
+        };
         let outcome = self.source.src.remove_with(&mut StageRemoveCtx {
             eng: &mut eng,
             idx: 0,
             cont: |eng: &mut Engine, elem: &T| self.chain.run_chain(eng, 1, elem),
         });
-        eng.finish();
-        move_verdict(&eng, outcome)
+        conclude(eng, outcome)
     }
 }
 
@@ -835,11 +1035,28 @@ where
 {
     /// Execute the composition (keyed source).
     pub fn run(&self) -> MoveOutcome {
+        match self.run_impl(false) {
+            Ok(o) => o,
+            Err(_) => unreachable!("infallible engine cannot report OOM"),
+        }
+    }
+
+    /// Fallible [`run`](Self::run): descriptor allocation failure surfaces
+    /// as `Err` with nothing changed anywhere.
+    pub fn try_run(&self) -> Result<MoveOutcome, AllocError> {
+        self.run_impl(true)
+    }
+
+    fn run_impl(&self, fallible: bool) -> Result<MoveOutcome, AllocError> {
         assert!(
             (1..=MAX_TARGETS).contains(&C::LEN),
             "a composition takes 1..={MAX_TARGETS} insert stages"
         );
-        let mut eng = Engine::new(1 + C::LEN);
+        let mut eng = if fallible {
+            Engine::new_fallible(1 + C::LEN)
+        } else {
+            Engine::new(1 + C::LEN)
+        };
         let outcome = self.source.src.remove_key_with(
             self.source.key,
             &mut StageRemoveCtx {
@@ -848,7 +1065,6 @@ where
                 cont: |eng: &mut Engine, elem: &T| self.chain.run_chain(eng, 1, elem),
             },
         );
-        eng.finish();
-        move_verdict(&eng, outcome)
+        conclude(eng, outcome)
     }
 }

@@ -67,5 +67,25 @@ where
     S: KeyedMoveSource<K, T> + ?Sized,
     D: KeyedMoveTarget<K, T> + ?Sized,
 {
-    compose::move_keyed_impl(src, key, dst)
+    match compose::move_keyed_impl(src, key, dst, false) {
+        Ok(o) => o,
+        Err(_) => unreachable!("infallible engine cannot report OOM"),
+    }
+}
+
+/// Fallible [`move_keyed`]: a commit-descriptor allocation failure
+/// (genuine exhaustion, or injected via `lfc_runtime::fault`) surfaces as
+/// `Err` with both objects untouched, instead of panicking.
+pub fn try_move_keyed<K, T, S, D>(
+    src: &S,
+    key: &K,
+    dst: &D,
+) -> Result<MoveOutcome, lfc_alloc::AllocError>
+where
+    K: Clone,
+    T: Clone,
+    S: KeyedMoveSource<K, T> + ?Sized,
+    D: KeyedMoveTarget<K, T> + ?Sized,
+{
+    compose::move_keyed_impl(src, key, dst, true)
 }

@@ -49,10 +49,11 @@ mod sync;
 
 pub use batch::{BatchGate, BatchOp, MoveKeyedOp, MoveKeyedToAllOp, MoveOneOp, SwapOp};
 pub use compose::{
-    move_keyed_to_all, move_keyed_to_unkeyed, swap, Composition, SwapOutcome, MAX_ENTRIES,
+    move_keyed_to_all, move_keyed_to_unkeyed, swap, try_move_keyed_to_all,
+    try_move_keyed_to_unkeyed, try_swap, Composition, SwapOutcome, MAX_ENTRIES,
 };
-pub use keyed::{move_keyed, KeyedMoveSource, KeyedMoveTarget};
-pub use multi::{move_to_all, MAX_TARGETS};
+pub use keyed::{move_keyed, try_move_keyed, KeyedMoveSource, KeyedMoveTarget};
+pub use multi::{move_to_all, try_move_to_all, MAX_TARGETS};
 
 use lfc_dcas::{DAtomic, Word};
 
@@ -221,7 +222,24 @@ where
     S: MoveSource<T> + ?Sized,
     D: MoveTarget<T> + ?Sized,
 {
-    compose::move_one_impl(src, dst)
+    match compose::move_one_impl(src, dst, false) {
+        Ok(o) => o,
+        Err(_) => unreachable!("infallible engine cannot report OOM"),
+    }
+}
+
+/// Fallible [`move_one`]: a commit-descriptor allocation failure (genuine
+/// exhaustion, or injected via `lfc_runtime::fault`'s `"dcas.desc"` /
+/// `"dcas.casn"` / `"dcas.rdcss"` sites) surfaces as `Err` with both
+/// objects untouched, instead of panicking. The solo-regime fast path
+/// allocates nothing and cannot fail.
+pub fn try_move_one<T, S, D>(src: &S, dst: &D) -> Result<MoveOutcome, lfc_alloc::AllocError>
+where
+    T: Clone,
+    S: MoveSource<T> + ?Sized,
+    D: MoveTarget<T> + ?Sized,
+{
+    compose::move_one_impl(src, dst, true)
 }
 
 impl<T, S: MoveSource<T>> MoveSource<T> for &S {

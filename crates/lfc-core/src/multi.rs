@@ -33,5 +33,23 @@ where
     S: MoveSource<T> + ?Sized,
     D: MoveTarget<T> + ?Sized,
 {
-    compose::move_to_all_impl(src, dsts)
+    match compose::move_to_all_impl(src, dsts, false) {
+        Ok(o) => o,
+        Err(_) => unreachable!("infallible engine cannot report OOM"),
+    }
+}
+
+/// Fallible [`move_to_all`]: a commit-descriptor allocation failure
+/// surfaces as `Err` with every object untouched, instead of panicking.
+///
+/// # Panics
+///
+/// As [`move_to_all`], on an empty or oversized `dsts`.
+pub fn try_move_to_all<T, S, D>(src: &S, dsts: &[&D]) -> Result<MoveOutcome, lfc_alloc::AllocError>
+where
+    T: Clone,
+    S: MoveSource<T> + ?Sized,
+    D: MoveTarget<T> + ?Sized,
+{
+    compose::move_to_all_impl(src, dsts, true)
 }

@@ -107,49 +107,52 @@ thread_local! {
 /// safety argument) reduces the hit path to one `Vec::pop` and a single
 /// `res` reset — the CAS triples are overwritten by `set_first` /
 /// `set_second` anyway.
+fn reuse_desc(d: NonNull<DcasDesc>) {
+    counters::DESC_POOL_HITS.fetch_add(1, Ordering::Relaxed);
+    // Safety: unreachable by any other thread (pool contract);
+    // Relaxed reset is enough — publication happens-before is
+    // established by the announcing CAS, never by this store.
+    unsafe { d.as_ref() }
+        .res
+        .store(RES_UNDECIDED, Ordering::Relaxed);
+    // Safety: exclusively owned (pool contract); plain store before
+    // publication.
+    unsafe { (*d.as_ptr()).birth = lfc_hazard::birth_era() };
+    #[cfg(debug_assertions)]
+    // Safety: exclusively owned; poison the triple pointers so a
+    // commit without set_first/set_second trips the debug asserts.
+    unsafe {
+        let m = &mut *d.as_ptr();
+        m.ptr1 = std::ptr::null();
+        m.ptr2 = std::ptr::null();
+    }
+}
+
+fn init_desc(block: NonNull<DcasDesc>) {
+    counters::DESC_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Safety: freshly allocated, properly aligned and sized.
+    unsafe {
+        block.as_ptr().write(DcasDesc {
+            ptr1: std::ptr::null(),
+            old1: 0,
+            new1: 0,
+            hp1: 0,
+            ptr2: std::ptr::null(),
+            old2: 0,
+            new2: 0,
+            hp2: 0,
+            res: AtomicUsize::new(RES_UNDECIDED),
+            birth: lfc_hazard::birth_era(),
+        });
+    }
+}
+
 fn alloc_desc() -> NonNull<DcasDesc> {
-    crate::pool::alloc(
-        &POOL,
-        DESC_LAYOUT,
-        |d| {
-            counters::DESC_POOL_HITS.fetch_add(1, Ordering::Relaxed);
-            // Safety: unreachable by any other thread (pool contract);
-            // Relaxed reset is enough — publication happens-before is
-            // established by the announcing CAS, never by this store.
-            unsafe { d.as_ref() }
-                .res
-                .store(RES_UNDECIDED, Ordering::Relaxed);
-            // Safety: exclusively owned (pool contract); plain store before
-            // publication.
-            unsafe { (*d.as_ptr()).birth = lfc_hazard::birth_era() };
-            #[cfg(debug_assertions)]
-            // Safety: exclusively owned; poison the triple pointers so a
-            // commit without set_first/set_second trips the debug asserts.
-            unsafe {
-                let m = &mut *d.as_ptr();
-                m.ptr1 = std::ptr::null();
-                m.ptr2 = std::ptr::null();
-            }
-        },
-        |block| {
-            counters::DESC_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
-            // Safety: freshly allocated, properly aligned and sized.
-            unsafe {
-                block.as_ptr().write(DcasDesc {
-                    ptr1: std::ptr::null(),
-                    old1: 0,
-                    new1: 0,
-                    hp1: 0,
-                    ptr2: std::ptr::null(),
-                    old2: 0,
-                    new2: 0,
-                    hp2: 0,
-                    res: AtomicUsize::new(RES_UNDECIDED),
-                    birth: lfc_hazard::birth_era(),
-                });
-            }
-        },
-    )
+    crate::pool::alloc(&POOL, DESC_LAYOUT, reuse_desc, init_desc)
+}
+
+fn try_alloc_desc() -> Result<NonNull<DcasDesc>, lfc_alloc::AllocError> {
+    crate::pool::try_alloc(&POOL, DESC_LAYOUT, reuse_desc, init_desc)
 }
 
 /// Return an unreachable descriptor to the pool (or the backing allocator).
@@ -190,6 +193,18 @@ impl DescHandle {
     /// Allocate a fresh descriptor (per-thread pooled, 512-aligned).
     pub fn new() -> Self {
         DescHandle { desc: alloc_desc() }
+    }
+
+    /// Fallible [`Self::new`]: `Err` when the pool is empty and the backing
+    /// allocation fails (or the `dcas.desc` / `alloc.block` fault site
+    /// fires).
+    pub fn try_new() -> Result<Self, lfc_alloc::AllocError> {
+        if lfc_runtime::fault::check("dcas.desc") {
+            return Err(lfc_alloc::AllocError);
+        }
+        Ok(DescHandle {
+            desc: try_alloc_desc()?,
+        })
     }
 
     fn desc(&self) -> &DcasDesc {
@@ -310,8 +325,16 @@ impl DescHandle {
             }
         }
 
+        // Announce the in-flight operation in the adoption table before
+        // publication: from here until `clear_announce`, a survivor can
+        // complete this DCAS on our behalf if we die
+        // (`crate::adopt_dead_threads`). The kill site models exactly that
+        // death.
+        crate::adopt::announce(g.tid(), word::dcas_plain(addr));
+        lfc_runtime::fault::check_kill("dcas.announced");
         // Safety: we own the descriptor; `dcas_run` publishes it.
         let result = unsafe { dcas_run(word::dcas_plain(addr), true, g) };
+        crate::adopt::clear_announce(g.tid());
         match result {
             DcasResult::FirstFailed => {
                 // Announcement failed: never published, safe to reuse.
@@ -360,8 +383,12 @@ impl DescHandle {
             "engine entries are pairwise distinct"
         );
 
+        // Announce for adoption (see `commit`), then publish.
+        crate::adopt::announce(g.tid(), word::dcas_plain(addr));
+        lfc_runtime::fault::check_kill("dcas.announced");
         // Safety: we own the descriptor; `dcas_run` publishes it.
         let result = unsafe { dcas_run(word::dcas_plain(addr), true, g) };
+        crate::adopt::clear_announce(g.tid());
         if let DcasResult::FirstFailed = result {
             // Announcement failed: never published, so Drop recycles the
             // block straight into the pool.
@@ -401,6 +428,14 @@ impl DescHandle {
 
 impl Drop for DescHandle {
     fn drop(&mut self) {
+        // An abandoning thread (injected death, `lfc_runtime::fault`) may
+        // be unwinding out of `dcas_run` with the descriptor *published*:
+        // recycling it here would hand helpers a reused block. Leak it —
+        // the corpse's announce-table entry keeps it findable, and the
+        // documented leak bound charges one descriptor per abandonment.
+        if lfc_runtime::fault::thread_is_abandoning() {
+            return;
+        }
         // Unpublished handle dropped without commit (e.g. move aborted in
         // the remove init-phase, or a solo fast-path success): no helper
         // can know the address, so it goes straight back to the pool.
@@ -461,9 +496,38 @@ pub mod counters {
 /// `desc_word` must reference a descriptor currently protected by the
 /// caller's [`slot::DESC`] hazard and validated as still installed.
 pub(crate) unsafe fn help(desc_word: Word, g: &Guard) {
+    // Kill site at the helping boundary: a helper that dies here has
+    // published nothing yet — its only obligation (the DESC hazard) stays
+    // protected by its corpse bank until adoption.
+    lfc_runtime::fault::check_kill("dcas.help");
     counters::HELP_RUNS.fetch_add(1, Ordering::Relaxed);
     // Safety: forwarded contract.
     let _ = unsafe { dcas_run(desc_word, false, g) };
+}
+
+/// Whether `plain`'s descriptor is currently installed at its first word
+/// — adoption's publication test.
+///
+/// The D10 first-word install is initiator-only: [`dcas_run`] as a helper
+/// assumes it already happened, installs the marked word at `*ptr2`, and
+/// "commits" with the `*ptr1` swing CAS failing silently — a torn
+/// half-DCAS — if the initiator in fact never published. An adopter must
+/// therefore never help a corpse's *announced-but-unpublished* DCAS.
+/// `*ptr1` holds `plain` exactly between D10 and the decided swing/revert,
+/// and an abandoned descriptor is leaked (its address is never re-minted),
+/// so a single load is a stable test: `false` means never-published or
+/// already-decided, and with the initiator dead neither can change — there
+/// is nothing left to complete.
+///
+/// # Safety
+///
+/// `plain`'s descriptor must be alive with its first triple recorded
+/// (announce-table contract: `announce` happens after `set_first`).
+pub(crate) unsafe fn dcas_is_published(plain: Word) -> bool {
+    // Safety: descriptor alive per contract; `ptr1` was set before the
+    // announce made `plain` visible to adopters.
+    let desc = unsafe { &*(word::desc_addr(plain) as *const DcasDesc) };
+    unsafe { &*desc.ptr1 }.load_word() == plain
 }
 
 fn decode(res: usize) -> DcasResult {
@@ -530,8 +594,14 @@ fn dcas_body(desc: &DcasDesc, desc_word: Word, initiator: bool, g: &Guard) -> Dc
     // D10–D11: the initiator announces the operation. The CAS's Release
     // publishes the descriptor's (immutable) fields to every helper that
     // Acquire-reads the word.
-    if initiator && !ptr1.cas_word(desc.old1, plain) {
-        return DcasResult::FirstFailed;
+    if initiator {
+        if !ptr1.cas_word(desc.old1, plain) {
+            return DcasResult::FirstFailed;
+        }
+        // Kill site: the initiator dies with the descriptor installed at
+        // `*ptr1` and the second word untouched — the worst-case torn
+        // state. Survivors complete it via `read`-helping or adoption.
+        lfc_runtime::fault::check_kill("dcas.published");
     }
 
     // D13–D14: try to install our marked descriptor at the second word.

@@ -77,3 +77,51 @@ pub unsafe fn commit_entries(entries: &[CasnEntry], g: &Guard) -> CasnResult {
     }
     h.commit(g)
 }
+
+/// Fallible [`commit_entries`]: descriptor and RDCSS allocation failures
+/// (genuine exhaustion, or injection at the `"dcas.desc"`, `"dcas.casn"`
+/// and `"dcas.rdcss"` sites) surface as `Err` instead of panicking, with
+/// no word left changed. The solo regime allocates nothing and cannot
+/// fail.
+///
+/// # Safety
+///
+/// As [`commit_entries`].
+#[inline]
+pub unsafe fn try_commit_entries(
+    entries: &[CasnEntry],
+    g: &Guard,
+) -> Result<CasnResult, lfc_alloc::AllocError> {
+    assert!(
+        (2..=MAX_ENTRIES).contains(&entries.len()),
+        "commit_entries supports 2..={MAX_ENTRIES} entries"
+    );
+    debug_assert!(
+        entries
+            .iter()
+            .enumerate()
+            .all(|(i, e)| entries[..i].iter().all(|p| !std::ptr::eq(p.ptr, e.ptr))),
+        "entry words must be pairwise distinct (engine alias detection)"
+    );
+
+    if let Some(_solo) = solo::try_enter() {
+        return Ok(solo_commit(entries));
+    }
+
+    if let [first, second] = entries {
+        let mut h = DescHandle::try_new()?;
+        h.set_first_from(first);
+        h.set_second_from(second);
+        return Ok(match h.commit_engine(g) {
+            DcasResult::Success => CasnResult::Success,
+            DcasResult::FirstFailed => CasnResult::FailedAt(0),
+            DcasResult::SecondFailed => CasnResult::FailedAt(1),
+        });
+    }
+
+    let mut h = CasnHandle::try_new()?;
+    for (i, e) in entries.iter().enumerate() {
+        h.set_entry_from(i, e);
+    }
+    h.try_commit(g)
+}

@@ -202,41 +202,53 @@ impl std::fmt::Debug for CasnHandle {
     }
 }
 
+fn reuse_casn(d: NonNull<CasnDesc>) {
+    counters::CASN_POOL_HITS.fetch_add(1, Ordering::Relaxed);
+    // Safety: unreachable by any other thread (pool contract).
+    // Relaxed reset suffices: publication happens-before is
+    // established by the phase-1 RDCSS installs, never here.
+    unsafe { d.as_ref() }
+        .status
+        .store(ST_UNDECIDED, Ordering::Relaxed);
+    // Safety: exclusively owned; entries are governed by
+    // `count`, so stale triples are unreachable.
+    unsafe {
+        (*d.as_ptr()).count = 0;
+        (*d.as_ptr()).birth = lfc_hazard::birth_era();
+    };
+}
+
+fn init_casn(block: NonNull<CasnDesc>) {
+    counters::CASN_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Safety: fresh block.
+    unsafe {
+        block.as_ptr().write(CasnDesc {
+            entries: [CasnEntry::default(); MAX_ENTRIES],
+            count: 0,
+            status: AtomicUsize::new(ST_UNDECIDED),
+            birth: lfc_hazard::birth_era(),
+        });
+    }
+}
+
 impl CasnHandle {
     /// Allocate an empty descriptor (per-thread pooled, 512-aligned).
     pub fn new() -> Self {
-        let block = crate::pool::alloc(
-            &CASN_POOL,
-            CASN_LAYOUT,
-            |d| {
-                counters::CASN_POOL_HITS.fetch_add(1, Ordering::Relaxed);
-                // Safety: unreachable by any other thread (pool contract).
-                // Relaxed reset suffices: publication happens-before is
-                // established by the phase-1 RDCSS installs, never here.
-                unsafe { d.as_ref() }
-                    .status
-                    .store(ST_UNDECIDED, Ordering::Relaxed);
-                // Safety: exclusively owned; entries are governed by
-                // `count`, so stale triples are unreachable.
-                unsafe {
-                    (*d.as_ptr()).count = 0;
-                    (*d.as_ptr()).birth = lfc_hazard::birth_era();
-                };
-            },
-            |block| {
-                counters::CASN_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
-                // Safety: fresh block.
-                unsafe {
-                    block.as_ptr().write(CasnDesc {
-                        entries: [CasnEntry::default(); MAX_ENTRIES],
-                        count: 0,
-                        status: AtomicUsize::new(ST_UNDECIDED),
-                        birth: lfc_hazard::birth_era(),
-                    });
-                }
-            },
-        );
+        let block = crate::pool::alloc(&CASN_POOL, CASN_LAYOUT, reuse_casn, init_casn);
         CasnHandle { desc: block }
+    }
+
+    /// Fallible [`new`](Self::new): surfaces allocation failure (injected
+    /// at the `"dcas.casn"` site, or genuine exhaustion on the fresh-block
+    /// fallthrough) instead of panicking. The site check runs before the
+    /// pool so injection fires even when a pooled block would have been a
+    /// guaranteed hit.
+    pub fn try_new() -> Result<Self, lfc_alloc::AllocError> {
+        if lfc_runtime::fault::check("dcas.casn") {
+            return Err(lfc_alloc::AllocError);
+        }
+        let block = crate::pool::try_alloc(&CASN_POOL, CASN_LAYOUT, reuse_casn, init_casn)?;
+        Ok(CasnHandle { desc: block })
     }
 
     fn desc(&self) -> &CasnDesc {
@@ -277,14 +289,49 @@ impl CasnHandle {
     /// retires the descriptor through the hazard domain (helpers may still
     /// hold it); the composition engine re-captures into a fresh pooled
     /// handle on retry, so no partial state is handed back.
+    ///
+    /// An RDCSS allocation failure mid-install decides the operation
+    /// `FAILED_BASE + i` and reverts (see `casn_execute`); this infallible
+    /// API reports it as an ordinary [`CasnResult::FailedAt`] — callers
+    /// that must distinguish resource exhaustion from a mismatch use
+    /// [`try_commit`](Self::try_commit).
     pub fn commit(self, g: &Guard) -> CasnResult {
+        self.run(g).0
+    }
+
+    /// [`commit`](Self::commit), surfacing an RDCSS allocation failure
+    /// that decided the operation as `Err` instead of a spurious
+    /// `FailedAt`. Either way the operation is decided and every target
+    /// word holds a raw value on return.
+    pub fn try_commit(self, g: &Guard) -> Result<CasnResult, lfc_alloc::AllocError> {
+        match self.run(g) {
+            (_, true) => Err(lfc_alloc::AllocError),
+            (r, false) => Ok(r),
+        }
+    }
+
+    /// Shared commit body. The second return is true iff this executor's
+    /// own allocation failure is what decided the operation.
+    fn run(self, g: &Guard) -> (CasnResult, bool) {
         let addr = self.desc.as_ptr() as usize;
         let d = self.desc();
         debug_assert!(d.count >= 2, "a CASN of fewer than 2 words is a CAS");
         debug_assert_eq!(d.status.load(Ordering::Relaxed), ST_UNDECIDED);
-        let result = casn_execute(d, word::casn_word(addr), g, true);
+        let cw = word::casn_word(addr);
+        // Publish for dead-thread adopters before the descriptor can reach
+        // any shared word; cleared only after the operation is decided, so
+        // an abandonment anywhere inside leaves the slot set (crate::adopt).
+        crate::adopt::announce(g.tid(), cw);
+        lfc_runtime::fault::check_kill("kcas.announced");
+        let out = casn_execute(d, cw, g, true);
+        crate::adopt::clear_announce(g.tid());
         self.retire();
-        result
+        match out {
+            Ok(r) => (r, false),
+            // Owner alloc failure at entry `i`, decided FAILED_BASE + i
+            // and fully reverted by phase 2.
+            Err(i) => (CasnResult::FailedAt(i), true),
+        }
     }
 
     fn retire(self) {
@@ -316,6 +363,14 @@ impl Default for CasnHandle {
 
 impl Drop for CasnHandle {
     fn drop(&mut self) {
+        // An abandoning thread (injected death, `lfc_runtime::fault`) may
+        // be unwinding out of `run` with the descriptor announced and
+        // possibly installed; helpers and adopters still reach it, so it
+        // must be leaked, never recycled. Bounded: one descriptor per
+        // abandonment (DESIGN.md "Fault model").
+        if lfc_runtime::fault::thread_is_abandoning() {
+            return;
+        }
         // Unpublished: a descriptor only becomes visible through commit.
         unsafe { reclaim_casn(self.desc.as_ptr() as *mut u8) };
     }
@@ -375,7 +430,19 @@ fn rdcss_complete(d: &RdcssDesc, desc_word: Word) {
 /// Execute the CASN protocol. `full` executors run both phases; `!full`
 /// (late helpers that found the status decided) only fix the word they came
 /// through — `via` — before returning.
-fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnResult {
+///
+/// `Err(i)` means *this executor's* RDCSS allocation for entry `i` failed:
+/// for the owner the operation is then decided `FAILED_BASE + i` and
+/// reverted before returning; a helper instead bails best-effort with the
+/// operation possibly still undecided (it must not decide failure for an
+/// entry that may match — the owner, or the next helper, will finish).
+/// Crate-visible for dead-thread adoption ([`crate::adopt`]).
+pub(crate) fn casn_execute(
+    d: &CasnDesc,
+    casn_word: Word,
+    g: &Guard,
+    owner: bool,
+) -> Result<CasnResult, usize> {
     let n = d.count;
     // Adopt every entry's protection before the undecided check (helpers).
     if !owner {
@@ -397,18 +464,51 @@ fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnRe
         for i in 0..n {
             g.clear(slot::KCAS0 + i);
         }
-        return decode_status(st0);
+        return Ok(decode_status(st0));
     }
 
     // Phase 1: install the descriptor in every word with RDCSS.
     // Acquire (audited): decisions travel through `status`'s modification
     // order; the owner needs no hazard Dekker (it owns the descriptor) and
     // helpers already paid SeqCst at `st0`.
+    let mut alloc_failed = None;
     let mut status = d.status.load(Ordering::Acquire);
     if status == ST_UNDECIDED {
         'install: for i in 0..n {
             let e = &d.entries[i];
-            let rd = alloc_rdcss(&d.status, e, casn_word);
+            let rd = match try_alloc_rdcss(&d.status, e, casn_word) {
+                Ok(rd) => rd,
+                Err(_) if owner => {
+                    // Cannot install entry `i`: decide failure there (the
+                    // generalization of a mismatch — nothing was or will be
+                    // changed at `i`) so phase 2 reverts the installed
+                    // prefix, then surface the allocation failure iff our
+                    // decision stood (a concurrent helper may have decided
+                    // SUCCEEDED first, in which case the operation took
+                    // effect and the failure is moot).
+                    let _ = d.status.compare_exchange(
+                        ST_UNDECIDED,
+                        ST_FAILED_BASE + i,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    alloc_failed = Some(i);
+                    break 'install;
+                }
+                Err(_) => {
+                    // Helper out of memory: it must not decide failure for
+                    // an entry that may match. If the operation is still
+                    // undecided, bail best-effort — the owner (or the next
+                    // helper, or an adopter) retries with its own memory.
+                    if d.status.load(Ordering::Acquire) == ST_UNDECIDED {
+                        for j in 0..n {
+                            g.clear(slot::KCAS0 + j);
+                        }
+                        return Err(i);
+                    }
+                    break 'install;
+                }
+            };
             let seen = rdcss(rd, g);
             retire_rdcss(rd);
             if seen == e.old {
@@ -464,7 +564,12 @@ fn casn_execute(d: &CasnDesc, casn_word: Word, g: &Guard, owner: bool) -> CasnRe
             g.clear(slot::KCAS0 + i);
         }
     }
-    decode_status(status)
+    match alloc_failed {
+        // Our allocation failure is what decided the operation (and the
+        // revert above has run): report it as such.
+        Some(i) if status == ST_FAILED_BASE + i => Err(i),
+        _ => Ok(decode_status(status)),
+    }
 }
 
 /// The shared solo-regime commit: run the `entries` CASes back to back,
@@ -503,7 +608,16 @@ fn decode_status(st: usize) -> CasnResult {
     }
 }
 
-fn alloc_rdcss(status: &AtomicUsize, e: &CasnEntry, casn_word: Word) -> Word {
+fn try_alloc_rdcss(
+    status: &AtomicUsize,
+    e: &CasnEntry,
+    casn_word: Word,
+) -> Result<Word, lfc_alloc::AllocError> {
+    // Site check ahead of the pool: a pool hit cannot organically fail, so
+    // this is the only way injection reaches the phase-1 install path.
+    if lfc_runtime::fault::check("dcas.rdcss") {
+        return Err(lfc_alloc::AllocError);
+    }
     let fill = |block: NonNull<RdcssDesc>| {
         // Safety: exclusively owned (fresh or pooled — see `crate::pool`);
         // every field is overwritten, and RdcssDesc has no drop glue.
@@ -517,7 +631,7 @@ fn alloc_rdcss(status: &AtomicUsize, e: &CasnEntry, casn_word: Word) -> Word {
             });
         }
     };
-    let block = crate::pool::alloc(
+    let block = crate::pool::try_alloc(
         &RDCSS_POOL,
         RDCSS_LAYOUT,
         |d| {
@@ -528,8 +642,8 @@ fn alloc_rdcss(status: &AtomicUsize, e: &CasnEntry, casn_word: Word) -> Word {
             counters::RDCSS_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
             fill(d);
         },
-    );
-    word::rdcss_word(block.as_ptr() as usize)
+    )?;
+    Ok(word::rdcss_word(block.as_ptr() as usize))
 }
 
 fn retire_rdcss(desc_word: Word) {
@@ -564,17 +678,24 @@ pub(crate) unsafe fn help_word(w: Word, via: &DAtomic, g: &Guard) {
         word::KIND_CASN => {
             // Safety: protected + validated per the contract.
             let d = unsafe { &*(word::desc_addr(w) as *const CasnDesc) };
-            let st = casn_execute(d, w, g, false);
-            // The operation is decided on return, but a late helper does not
-            // run phase 2 (its protections cannot be validated), and even a
-            // full execution's phase 2 may predate a stale re-installation.
-            // Swing the word we came through — which our caller protects —
-            // off the descriptor so readers make progress.
-            let succeeded = matches!(st, CasnResult::Success);
-            for e in &d.entries[..d.count] {
-                if std::ptr::eq(e.ptr, via as *const DAtomic) {
-                    let _ = via.cas_word(w, if succeeded { e.new } else { e.old });
-                    break;
+            // An Err means *this helper* ran out of memory mid-install and
+            // the operation may still be undecided — it must leave the word
+            // alone and let a better-resourced executor finish (the read
+            // loop retries; OOM tests inject fail-nth, not fail-always, so
+            // this cannot livelock).
+            if let Ok(st) = casn_execute(d, w, g, false) {
+                // The operation is decided on return, but a late helper does
+                // not run phase 2 (its protections cannot be validated), and
+                // even a full execution's phase 2 may predate a stale
+                // re-installation. Swing the word we came through — which
+                // our caller protects — off the descriptor so readers make
+                // progress.
+                let succeeded = matches!(st, CasnResult::Success);
+                for e in &d.entries[..d.count] {
+                    if std::ptr::eq(e.ptr, via as *const DAtomic) {
+                        let _ = via.cas_word(w, if succeeded { e.new } else { e.old });
+                        break;
+                    }
                 }
             }
         }

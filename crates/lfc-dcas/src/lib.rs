@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adopt;
 pub mod atomic;
 pub mod dcas;
 pub mod engine;
@@ -22,8 +23,9 @@ pub(crate) mod pool;
 pub mod sync;
 pub mod word;
 
+pub use adopt::{adopt_dead_threads, helped_completions};
 pub use atomic::DAtomic;
 pub use dcas::{counters, DcasDesc, DcasResult, DescHandle};
-pub use engine::commit_entries;
+pub use engine::{commit_entries, try_commit_entries};
 pub use kcas::{CasnEntry, CasnResult, MAX_ENTRIES};
 pub use word::Word;

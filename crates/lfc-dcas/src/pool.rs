@@ -75,6 +75,25 @@ pub(crate) fn alloc<T: 'static>(
     block
 }
 
+/// Fallible [`alloc`]: a pool hit never fails; the fresh-block fallthrough
+/// surfaces `lfc-alloc`'s `AllocError` instead of panicking.
+pub(crate) fn try_alloc<T: 'static>(
+    key: &'static LocalKey<PoolCell<T>>,
+    layout: Layout,
+    reuse: impl FnOnce(NonNull<T>),
+    init: impl FnOnce(NonNull<T>),
+) -> Result<NonNull<T>, lfc_alloc::AllocError> {
+    if !thread_is_exiting() {
+        if let Some(d) = with_pool(key, layout, |pool| pool.free.pop()) {
+            reuse(d);
+            return Ok(d);
+        }
+    }
+    let block = lfc_alloc::try_alloc_block(layout)?.cast::<T>();
+    init(block);
+    Ok(block)
+}
+
 /// Return an unreachable descriptor block to the pool (or the backing
 /// allocator when the pool is full or the thread is tearing down).
 ///

@@ -1,0 +1,83 @@
+//! Deterministic abandoned-owner test (PR 8, satellite 3): the initiator
+//! parks forever *after* the announcement (line D10) and a helper alone
+//! drives the DCAS to its decision.
+//!
+//! This is the paper's core robustness claim (Lemma 5/6 territory) pinned
+//! down without any scheduler luck: `test_support::announce_only` performs
+//! exactly the announcing CAS and then stops, so the descriptor is
+//! published and *nobody* is running the protocol until the helper's
+//! `read` stumbles over it. The assertions check the helper's work through
+//! `counters::help_runs()` — the owner never calls `dcas_run`, so any
+//! decision must have come from the help path.
+
+use lfc_dcas::dcas::{counters, test_support};
+use lfc_dcas::{DAtomic, DcasResult, DescHandle};
+use lfc_hazard::pin;
+
+#[test]
+fn helper_alone_commits_a_parked_owners_dcas() {
+    let a = DAtomic::new(8);
+    let b = DAtomic::new(16);
+    let g = pin();
+    let mut h = DescHandle::new();
+    h.set_first(&a, 8, 24, 0);
+    h.set_second(&b, 16, 32, 0);
+    let w = test_support::announce_only(h).expect("word 1 matches, announce lands");
+    // Owner parks here: no dcas_run, no finish, no retire.
+
+    let before = counters::help_runs();
+    std::thread::scope(|sc| {
+        sc.spawn(|| {
+            // A plain read of word 1 finds the descriptor and must help it
+            // to completion before returning a raw value.
+            let g = pin();
+            assert_eq!(a.read(&g), 24, "helper's read returns the post-DCAS value");
+        });
+    });
+    assert!(
+        counters::help_runs() > before,
+        "the decision can only have come from the help path"
+    );
+
+    // Both words swung without the owner ever running the protocol.
+    assert_eq!(a.read(&g), 24);
+    assert_eq!(b.read(&g), 32);
+
+    // The owner "wakes up": resuming is idempotent on a decided DCAS.
+    assert_eq!(unsafe { test_support::resume(w, &g) }, DcasResult::Success);
+    // Safety: decided; retired exactly once (announce_only handed us the
+    // initiator's retire obligation).
+    unsafe { test_support::retire_announced(w) };
+}
+
+#[test]
+fn helper_alone_reverts_a_parked_owners_failed_dcas() {
+    // Word 2 will not match: the helper must decide SECONDFAILED and roll
+    // the announcement back out of word 1 (paper Lemma 4), leaving both
+    // words at their old raw values.
+    let a = DAtomic::new(8);
+    let b = DAtomic::new(16);
+    let g = pin();
+    let mut h = DescHandle::new();
+    h.set_first(&a, 8, 24, 0);
+    h.set_second(&b, 96, 32, 0);
+    let w = test_support::announce_only(h).expect("word 1 matches, announce lands");
+
+    let before = counters::help_runs();
+    std::thread::scope(|sc| {
+        sc.spawn(|| {
+            let g = pin();
+            assert_eq!(a.read(&g), 8, "helper's read returns the reverted value");
+        });
+    });
+    assert!(counters::help_runs() > before);
+    assert_eq!(a.read(&g), 8);
+    assert_eq!(b.read(&g), 16);
+
+    assert_eq!(
+        unsafe { test_support::resume(w, &g) },
+        DcasResult::SecondFailed
+    );
+    // Safety: decided; single retire.
+    unsafe { test_support::retire_announced(w) };
+}

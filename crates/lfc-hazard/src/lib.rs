@@ -519,9 +519,51 @@ pub struct Guard {
     tid: u16,
 }
 
+/// Process-wide registration of [`clear_bank`] as a tid finalizer: runs
+/// when a thread's dense id is released — TLS teardown (including threads
+/// that never called `detach_thread`) and dead-thread adoption
+/// (`lfc_runtime::fault`) both funnel through it — so a reused id never
+/// inherits its predecessor's hazard slots or epoch marks.
+static BANK_FINALIZER: std::sync::Once = std::sync::Once::new();
+
+/// Reset thread `tid`'s hazard-slot bank and epoch slot to the pristine
+/// state a freshly claimed id expects.
+///
+/// Called only once `tid`'s owner can issue no further protected reads:
+/// its TLS destructors have run (clean exit), or its announced operation
+/// has been helped to completion and its corpse claimed (adoption). At
+/// that point dropping the protections is exactly what reclamation wants —
+/// in particular a `Z`-marked (zombified) epoch slot stops diverting
+/// retires into type-stable limbo. `EJECT_ERA` is deliberately *not*
+/// reset: it is monotone, and a stale value only widens the diverted set
+/// (the conservative direction) for a future occupant of the id.
+fn clear_bank(tid: u16) {
+    for s in &SLOTS[tid as usize].slots {
+        // Release, as the owner's own `Guard::clear`: ordered after the
+        // (now finished) thread's final reads; a scanner acquiring the
+        // clear may then reclaim.
+        s.store(0, Ordering::Release);
+    }
+    EPOCHS[tid as usize].nest.store(0, Ordering::Relaxed);
+    EPOCHS[tid as usize].epoch.store(0, Ordering::Release);
+}
+
+/// Whether thread `tid`'s hazard bank and epoch slot are fully clear
+/// (diagnostics: the thread-churn and adoption tests assert released ids
+/// are handed over pristine).
+pub fn bank_is_clear(tid: u16) -> bool {
+    SLOTS[tid as usize]
+        .slots
+        .iter()
+        .all(|s| s.load(Ordering::Acquire) == 0)
+        && EPOCHS[tid as usize].epoch.load(Ordering::Acquire) == 0
+        && EPOCHS[tid as usize].nest.load(Ordering::Relaxed) == 0
+}
+
 /// Obtain the current thread's guard, registering the thread on first use.
 #[inline]
 pub fn pin() -> Guard {
+    BANK_FINALIZER.call_once(|| lfc_runtime::register_tid_finalizer(clear_bank));
     Guard { tid: current_tid() }
 }
 

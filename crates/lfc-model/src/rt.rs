@@ -52,3 +52,34 @@ pub(crate) fn run_thread_epilogue() {
         f();
     }
 }
+
+/// Panic payload `lfc_runtime::fault::abandon` unwinds with. Duplicated
+/// from `lfc_runtime::fault::ABANDON_PAYLOAD` (this crate sits *below*
+/// lfc-runtime in the dependency graph and cannot import it); the two
+/// strings must stay identical — `lfc-runtime`'s fault tests assert the
+/// round trip.
+pub const ABANDON_PAYLOAD: &str = "lfc: operation abandoned (injected thread death)";
+
+static ABANDON_EPILOGUE: AtomicUsize = AtomicUsize::new(0);
+
+/// Register the abandonment finisher (`lfc_runtime::fault`'s
+/// `complete_abandonment`): runs on a model thread that unwound with
+/// [`ABANDON_PAYLOAD`], while the thread is still scheduled, parking its
+/// id/bank as a corpse instead of releasing them. Registered whenever the
+/// fault layer is armed under `--cfg lfc_model`.
+pub fn register_abandon_epilogue(f: fn()) {
+    ABANDON_EPILOGUE.store(f as usize, Ordering::Release);
+}
+
+/// Run the registered abandonment finisher. Returns `false` when none was
+/// registered (the caller then treats the unwind as an ordinary panic).
+pub(crate) fn run_abandon_epilogue() -> bool {
+    let p = ABANDON_EPILOGUE.load(Ordering::Acquire);
+    if p == 0 {
+        return false;
+    }
+    // Safety: only ever stored from a `fn()` in register_abandon_epilogue.
+    let f: fn() = unsafe { std::mem::transmute::<usize, fn()>(p) };
+    f();
+    true
+}

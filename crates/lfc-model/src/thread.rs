@@ -64,13 +64,28 @@ where
             sched::set_current(exec2.clone(), tid);
             exec2.start_point(tid);
             let r = catch_unwind(AssertUnwindSafe(f));
-            if let Err(p) = r {
-                exec2.stop_failure(FailureKind::Panic(payload_to_string(p.as_ref())));
+            match r {
+                // An injected kill (`lfc_runtime::fault::abandon`) is a
+                // modelled fault, not an execution failure: finish the
+                // abandonment while still scheduled (the thread's id and
+                // hazard bank become a corpse for survivors to adopt) and
+                // let the execution continue — the scenario asserts that
+                // helpers complete the orphaned operation.
+                Err(p)
+                    if payload_to_string(p.as_ref()) == rt::ABANDON_PAYLOAD
+                        && rt::run_abandon_epilogue() => {}
+                Err(p) => {
+                    exec2.stop_failure(FailureKind::Panic(payload_to_string(p.as_ref())));
+                    // Drain lfc thread-local state in passthrough mode.
+                    rt::run_thread_epilogue();
+                }
+                Ok(()) => {
+                    // Drain lfc thread-local state (hazard retire lists,
+                    // allocator magazines, the thread id) while still
+                    // scheduled; TLS destructors would run too late.
+                    rt::run_thread_epilogue();
+                }
             }
-            // Drain lfc thread-local state (hazard retire lists, allocator
-            // magazines, the thread id) while still scheduled; after the
-            // failure above this runs in passthrough mode.
-            rt::run_thread_epilogue();
             sched::clear_current();
             exec2.thread_finished(tid);
         })

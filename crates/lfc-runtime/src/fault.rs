@@ -1,0 +1,638 @@
+//! Deterministic fault injection and thread-death ("abandonment") support.
+//!
+//! Robustness claims are only as good as the faults they were tested
+//! under. This module provides the two fault classes the library promises
+//! to survive (DESIGN.md "Fault model"):
+//!
+//! 1. **Allocation failure** — every allocation site in the stack funnels
+//!    through [`check`]-guarded paths; an armed schedule turns the nth (or
+//!    a probabilistic, or a scripted) allocation into an
+//!    `Err(AllocError)` that surfaces through the structures' `try_*`
+//!    variants instead of aborting the process.
+//! 2. **Thread death** — a kill site ([`check_kill`]) unwinds the current
+//!    thread out of an in-flight composed operation via [`abandon`]. The
+//!    in-flight descriptor was *published* before every kill site, so
+//!    survivors complete the operation by helping; the dead thread's id,
+//!    hazard-slot bank, and pooled resources are adopted afterwards
+//!    (`lfc_dcas::adopt_dead_threads`).
+//!
+//! # Zero cost when disarmed
+//!
+//! Every site begins with one `Relaxed` load of a process-global state
+//! byte and a predictable branch; no site is ever evaluated, no lock
+//! taken, no counter bumped. Arming happens programmatically
+//! ([`arm_site`] / [`arm_all`] / [`arm_script`]) or through the
+//! `LFC_FAULTS` environment variable, read lazily on the first check:
+//!
+//! ```text
+//! LFC_FAULTS="alloc.block=nth:3;map.segment=always;*=prob:1000:42"
+//! ```
+//!
+//! entries are `site=schedule` pairs separated by `;` or `,`; schedules
+//! are `nth:N` (fire on the Nth check of that site, once), `every:N`,
+//! `prob:PPM[:SEED]` (parts-per-million, seeded PRNG), or `always`. The
+//! site `*` arms a wildcard consulted when no exact entry matches. A
+//! malformed spec panics — a fault campaign that silently doesn't run is
+//! worse than no campaign.
+//!
+//! # Site registry
+//!
+//! Sites are `&'static str` names chosen at the call site; the schedule
+//! decides *whether* to fire, the caller decides *what* a fired fault
+//! means (an `AllocError`, an [`abandon`]). Current sites:
+//!
+//! | site | layer | meaning when fired |
+//! |---|---|---|
+//! | `alloc.block` | lfc-alloc | backstop: any pooled block allocation fails |
+//! | `dcas.desc`, `dcas.casn`, `dcas.rdcss` | lfc-dcas | descriptor-pool refill fails |
+//! | `dcas.announced`, `kcas.announced` | lfc-dcas | owner dies right after announcing its descriptor |
+//! | `dcas.published` | lfc-dcas | owner dies right after the D10 install |
+//! | `dcas.help` | lfc-dcas | helper dies at the helping boundary |
+//! | `structures.node`, `structures.header` | lfc-structures | node/header allocation fails |
+//! | `map.segment`, `map.dummy`, `map.grow` | lfc-structures | split-ordered map degrades (no resize) |
+//! | `batch.node`, `batch.gate` | lfc-core | gate allocation fails (falls back to direct execution) |
+//! | `batch.submitted` | lfc-core | submitter dies after publishing its request |
+//!
+//! Threads that must survive a kill campaign (the harness's survivor
+//! pool, verification code) call [`shield_thread`]; exiting and
+//! already-abandoning threads are implicitly shielded so teardown paths
+//! can never be re-killed into an abort.
+
+use crate::rng::SmallRng;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Arming state + schedules
+// ---------------------------------------------------------------------------
+
+const ST_UNKNOWN: u8 = 0; // env not consulted yet
+const ST_DISARMED: u8 = 1;
+const ST_ARMED: u8 = 2;
+
+/// Process-global arming state. Plain `std` atomic on purpose: fault
+/// bookkeeping is harness infrastructure, not protocol state — it must not
+/// create model-checker choice points.
+static STATE: AtomicU8 = AtomicU8::new(ST_UNKNOWN);
+
+/// When a site should fire.
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// Fire exactly once, on the `n`th check of the site (1-based).
+    Nth(u64),
+    /// Fire on every `n`th check of the site.
+    EveryNth(u64),
+    /// Fire with probability `ppm`/1 000 000 per check, from a seeded PRNG.
+    Prob {
+        /// Parts-per-million firing probability.
+        ppm: u32,
+        /// PRNG seed (deterministic replay).
+        seed: u64,
+    },
+    /// Fire on every check.
+    Always,
+}
+
+struct SiteState {
+    schedule: Option<Schedule>,
+    rng: Option<SmallRng>,
+    checks: u64,
+    fired: u64,
+}
+
+impl SiteState {
+    fn new(schedule: Option<Schedule>) -> Self {
+        let rng = match &schedule {
+            Some(Schedule::Prob { seed, .. }) => Some(SmallRng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        SiteState {
+            schedule,
+            rng,
+            checks: 0,
+            fired: 0,
+        }
+    }
+
+    fn eval(&mut self) -> bool {
+        self.checks += 1;
+        let fire = match &self.schedule {
+            None => false,
+            Some(Schedule::Nth(n)) => self.checks == *n,
+            Some(Schedule::EveryNth(n)) => self.checks.is_multiple_of(*n),
+            Some(Schedule::Always) => true,
+            Some(Schedule::Prob { ppm, .. }) => {
+                self.rng
+                    .as_mut()
+                    .expect("prob schedule carries rng")
+                    .below(1_000_000)
+                    < *ppm as u64
+            }
+        };
+        if fire {
+            self.fired += 1;
+        }
+        fire
+    }
+}
+
+#[derive(Default)]
+struct FaultState {
+    sites: BTreeMap<String, SiteState>,
+    wildcard: Option<SiteState>,
+    script: Vec<String>,
+    script_pos: usize,
+}
+
+static REGISTRY: Mutex<Option<FaultState>> = Mutex::new(None);
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Option<FaultState>> {
+    // A panic (e.g. an injected abandon) while *not* holding the lock can
+    // never poison it; recover anyway so one failed test cannot wedge the
+    // whole process's fault machinery.
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// Set by harness survivors: this thread never takes an injected fault.
+    static SHIELDED: Cell<bool> = const { Cell::new(false) };
+    /// Set by [`abandon`]: this thread is unwinding out of an operation it
+    /// will never complete. Read by descriptor-handle `Drop` impls to leak
+    /// (instead of recycle) published descriptors.
+    static ABANDONING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Exempt (or re-expose) the current thread from all fault sites.
+/// Harness survivors and verification code shield themselves so a kill
+/// campaign only reaps its intended victims.
+pub fn shield_thread(on: bool) {
+    let _ = SHIELDED.try_with(|c| c.set(on));
+}
+
+fn is_shielded() -> bool {
+    // Threads whose TLS is gone are mid-exit: never fault them.
+    SHIELDED.try_with(|c| c.get()).unwrap_or(true)
+}
+
+/// Check a named fault site. Returns `true` when the armed schedule says
+/// this check fails. The disarmed fast path is a single `Relaxed` load.
+#[inline]
+pub fn check(site: &'static str) -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ST_DISARMED => false,
+        ST_UNKNOWN => {
+            init_from_env();
+            check(site)
+        }
+        _ => check_slow(site),
+    }
+}
+
+#[cold]
+fn check_slow(site: &'static str) -> bool {
+    // Teardown and abandonment paths are implicitly shielded: an injected
+    // failure inside a TLS destructor would double-panic into an abort.
+    if is_shielded() || crate::tid::thread_is_exiting() || thread_is_abandoning() {
+        return false;
+    }
+    let mut reg = lock_registry();
+    let Some(st) = reg.as_mut() else { return false };
+    // Scripted faults take precedence: the front of the script names the
+    // next site to fail, in order.
+    if let Some(next) = st.script.get(st.script_pos) {
+        if next == site {
+            st.script_pos += 1;
+            let s = st
+                .sites
+                .entry(site.to_string())
+                .or_insert_with(|| SiteState::new(None));
+            s.checks += 1;
+            s.fired += 1;
+            return true;
+        }
+    }
+    if let Some(s) = st.sites.get_mut(site) {
+        if s.schedule.is_some() {
+            return s.eval();
+        }
+        s.checks += 1;
+    } else {
+        // Record the observation so `counters()` names every touched site.
+        st.sites
+            .entry(site.to_string())
+            .or_insert_with(|| SiteState::new(None))
+            .checks += 1;
+    }
+    match &mut st.wildcard {
+        Some(w) => {
+            let fired = w.eval();
+            if fired {
+                st.sites
+                    .entry(site.to_string())
+                    .or_insert_with(|| SiteState::new(None))
+                    .fired += 1;
+            }
+            fired
+        }
+        None => false,
+    }
+}
+
+fn mark_armed() {
+    STATE.store(ST_ARMED, Ordering::Release);
+    // Under the model checker the kill payload is recognized by
+    // `lfc-model`'s thread wrapper, which must know how to finish the
+    // abandonment while the dead thread is still scheduled.
+    #[cfg(lfc_model)]
+    lfc_model::rt::register_abandon_epilogue(complete_abandonment);
+}
+
+fn with_state<R>(f: impl FnOnce(&mut FaultState) -> R) -> R {
+    let mut reg = lock_registry();
+    let st = reg.get_or_insert_with(FaultState::default);
+    f(st)
+}
+
+/// Arm `site` with `schedule` (resetting its counters).
+pub fn arm_site(site: &str, schedule: Schedule) {
+    with_state(|st| {
+        st.sites
+            .insert(site.to_string(), SiteState::new(Some(schedule)));
+    });
+    mark_armed();
+}
+
+/// Arm every site (wildcard) with `schedule`. Exact [`arm_site`] entries
+/// still take precedence.
+pub fn arm_all(schedule: Schedule) {
+    with_state(|st| st.wildcard = Some(SiteState::new(Some(schedule))));
+    mark_armed();
+}
+
+/// Arm a scripted schedule: the `k`th entry names the site whose next
+/// check fails, strictly in order. Replaces any previous script.
+pub fn arm_script(sites: &[&str]) {
+    with_state(|st| {
+        st.script = sites.iter().map(|s| s.to_string()).collect();
+        st.script_pos = 0;
+    });
+    mark_armed();
+}
+
+/// Disarm everything and clear all schedules, scripts and counters.
+pub fn disarm() {
+    *lock_registry() = None;
+    STATE.store(ST_DISARMED, Ordering::Release);
+}
+
+/// Per-site `(site, checks, fired)` counters, sorted by site name.
+/// Empty when nothing was ever armed.
+pub fn counters() -> Vec<(String, u64, u64)> {
+    let reg = lock_registry();
+    let Some(st) = reg.as_ref() else {
+        return Vec::new();
+    };
+    let mut out: Vec<(String, u64, u64)> = st
+        .sites
+        .iter()
+        .map(|(k, v)| (k.clone(), v.checks, v.fired))
+        .collect();
+    if let Some(w) = &st.wildcard {
+        out.push(("*".to_string(), w.checks, w.fired));
+    }
+    out
+}
+
+/// Total number of injected faults across all sites.
+pub fn fired_total() -> u64 {
+    counters().iter().map(|(_, _, f)| f).sum()
+}
+
+fn init_from_env() {
+    let mut reg = lock_registry();
+    if STATE.load(Ordering::Relaxed) != ST_UNKNOWN {
+        return; // raced with another initializer or an explicit arm
+    }
+    match std::env::var("LFC_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let mut st = FaultState::default();
+            for entry in spec.split([';', ',']).filter(|e| !e.trim().is_empty()) {
+                let (site, sched) = entry
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("LFC_FAULTS: missing '=' in {entry:?}"));
+                let sched = parse_schedule(sched.trim())
+                    .unwrap_or_else(|| panic!("LFC_FAULTS: bad schedule in {entry:?}"));
+                if site.trim() == "*" {
+                    st.wildcard = Some(SiteState::new(Some(sched)));
+                } else {
+                    st.sites
+                        .insert(site.trim().to_string(), SiteState::new(Some(sched)));
+                }
+            }
+            *reg = Some(st);
+            drop(reg);
+            mark_armed();
+        }
+        _ => STATE.store(ST_DISARMED, Ordering::Release),
+    }
+}
+
+fn parse_schedule(s: &str) -> Option<Schedule> {
+    if s == "always" {
+        return Some(Schedule::Always);
+    }
+    let mut parts = s.split(':');
+    let kind = parts.next()?;
+    match kind {
+        "nth" => Some(Schedule::Nth(parts.next()?.parse().ok()?)),
+        "every" => Some(Schedule::EveryNth(parts.next()?.parse().ok()?)),
+        "prob" => {
+            let ppm: u32 = parts.next()?.parse().ok()?;
+            let seed: u64 = match parts.next() {
+                Some(x) => x.parse().ok()?,
+                None => 0x5EED,
+            };
+            Some(Schedule::Prob { ppm, seed })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abandonment (injected thread death)
+// ---------------------------------------------------------------------------
+
+/// The panic payload [`abandon`] unwinds with. `lfc-model` duplicates this
+/// constant (`lfc_model::rt::ABANDON_PAYLOAD` — lfc-model cannot depend on
+/// this crate) so its thread wrapper can distinguish an injected death
+/// from a genuine failure; keep the two strings identical.
+pub const ABANDON_PAYLOAD: &str = "lfc: operation abandoned (injected thread death)";
+
+/// Whether the current thread is unwinding out of an operation it will
+/// never complete. Descriptor-handle `Drop` impls consult this to *leak*
+/// a published descriptor (helpers may still hold it) instead of
+/// recycling it, and `Engine`'s drop keeps the corpse's ENTRY hazards in
+/// place for them.
+pub fn thread_is_abandoning() -> bool {
+    ABANDONING.try_with(|c| c.get()).unwrap_or(false)
+}
+
+/// Kill the current thread's operation mid-flight: sets the abandoning
+/// flag and unwinds with [`ABANDON_PAYLOAD`]. Every kill site sits *after*
+/// the operation's descriptor is announced, so survivors can always
+/// complete it by helping.
+pub fn abandon() -> ! {
+    ABANDONING.with(|c| c.set(true));
+    std::panic::panic_any(ABANDON_PAYLOAD);
+}
+
+/// Check a kill site: if the armed schedule fires, [`abandon`] the thread.
+#[inline]
+pub fn check_kill(site: &'static str) {
+    if check(site) {
+        abandon();
+    }
+}
+
+/// Whether a caught panic payload is an [`abandon`] unwind.
+pub fn is_abandon_payload(p: &(dyn std::any::Any + Send)) -> bool {
+    p.downcast_ref::<&'static str>() == Some(&ABANDON_PAYLOAD)
+}
+
+/// Run `f`; if it [`abandon`]s, finish the abandonment (the thread becomes
+/// a *corpse*: its id, hazard bank and any published descriptor stay live
+/// until a survivor adopts them) and return `None`. Other panics resume.
+///
+/// This is the harness-side wrapper for victim threads; `lfc-model`'s
+/// thread wrapper performs the same steps for model threads.
+pub fn abandonment_scope<R>(f: impl FnOnce() -> R) -> Option<R> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => Some(r),
+        Err(p) if is_abandon_payload(p.as_ref()) => {
+            complete_abandonment();
+            None
+        }
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+/// Corpse registry: tids whose owning thread died mid-operation and whose
+/// id/bank/descriptors await adoption. Plain `std` atomics (see `STATE`).
+static CORPSE: [AtomicBool; crate::tid::MAX_THREADS] =
+    [const { AtomicBool::new(false) }; crate::tid::MAX_THREADS];
+static CORPSE_COUNT: AtomicUsize = AtomicUsize::new(0);
+static ABANDONED_TOTAL: AtomicUsize = AtomicUsize::new(0);
+static ADOPTED_TOTAL: AtomicUsize = AtomicUsize::new(0);
+
+/// Finish an abandonment on the dying thread: run the registered
+/// thread-exit hooks (allocator-magazine and descriptor-pool flushes,
+/// hazard retire-list hand-off — all safe because the abandoning-aware
+/// `Drop` impls already leaked anything still published), then park the
+/// thread id as a **corpse**: `CLAIMED` stays set and the active count
+/// stays up, so no survivor can enter the solo regime or reuse the bank
+/// while the dead thread's descriptor may still be installed. A survivor
+/// later adopts the corpse (`lfc_dcas::adopt_dead_threads`), which helps
+/// the announced operation to completion and then [`release_corpse`]s the
+/// id. Safe (a no-op) on threads that never claimed an id.
+pub fn complete_abandonment() {
+    if let Some(tid) = crate::tid::abandon_thread_slot() {
+        CORPSE[tid as usize].store(true, Ordering::Release);
+        CORPSE_COUNT.fetch_add(1, Ordering::Relaxed);
+        ABANDONED_TOTAL.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = ABANDONING.try_with(|c| c.set(false));
+}
+
+/// Tids currently parked as corpses.
+pub fn corpses() -> Vec<u16> {
+    (0..crate::tid::registered_high_water())
+        .filter(|&i| CORPSE[i].load(Ordering::Acquire))
+        .map(|i| i as u16)
+        .collect()
+}
+
+/// Whether `tid` is currently a corpse.
+pub fn is_corpse(tid: u16) -> bool {
+    CORPSE[tid as usize].load(Ordering::Acquire)
+}
+
+/// Number of corpses currently awaiting adoption.
+pub fn corpse_count() -> usize {
+    CORPSE_COUNT.load(Ordering::Relaxed)
+}
+
+/// Total threads ever abandoned (monotonic).
+pub fn abandoned_total() -> usize {
+    ABANDONED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Total corpses ever adopted (monotonic).
+pub fn adopted_total() -> usize {
+    ADOPTED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Claim the right to release corpse `tid` (exactly one adopter wins).
+/// The winner must have already helped the corpse's announced operation
+/// to completion, then call [`release_corpse`].
+pub fn claim_corpse(tid: u16) -> bool {
+    CORPSE[tid as usize]
+        .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}
+
+/// Release a claimed corpse's resources: runs the tid finalizers (hazard
+/// bank + epoch-slot reset) and frees the id back to the registry.
+///
+/// Call only after [`claim_corpse`] succeeded **and** the corpse's
+/// announced operation is decided — clearing the bank drops the corpse's
+/// hazard protections.
+pub fn release_corpse(tid: u16) {
+    crate::tid::release_corpse_tid(tid);
+    CORPSE_COUNT.fetch_sub(1, Ordering::Relaxed);
+    ADOPTED_TOTAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Install (once) a panic hook that suppresses the default report for
+/// [`abandon`] unwinds — a kill campaign is noisy otherwise — while
+/// delegating every genuine panic to the previous hook.
+pub fn install_quiet_abandon_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<&'static str>() == Some(&ABANDON_PAYLOAD) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All tests share process-global arming state; serialize them.
+    static SER: Mutex<()> = Mutex::new(());
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SER.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn abandon_payload_matches_model_duplicate() {
+        // lfc-model duplicates the constant (it cannot depend on us).
+        assert_eq!(ABANDON_PAYLOAD, lfc_model::rt::ABANDON_PAYLOAD);
+    }
+
+    #[test]
+    fn disarmed_never_fires() {
+        let _s = serial();
+        disarm();
+        for _ in 0..1000 {
+            assert!(!check("test.site"));
+        }
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let _s = serial();
+        arm_site("test.nth", Schedule::Nth(3));
+        let fired: Vec<bool> = (0..6).map(|_| check("test.nth")).collect();
+        assert_eq!(fired, [false, false, true, false, false, false]);
+        let c = counters();
+        let row = c.iter().find(|(s, _, _)| s == "test.nth").unwrap();
+        assert_eq!((row.1, row.2), (6, 1));
+        disarm();
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let _s = serial();
+        arm_site("test.every", Schedule::EveryNth(2));
+        let fired = (0..6).filter(|_| check("test.every")).count();
+        assert_eq!(fired, 3);
+        disarm();
+    }
+
+    #[test]
+    fn script_fires_in_order() {
+        let _s = serial();
+        arm_script(&["a.site", "b.site"]);
+        assert!(!check("b.site"), "script front is a.site");
+        assert!(check("a.site"));
+        assert!(check("b.site"));
+        assert!(!check("a.site"), "script exhausted");
+        disarm();
+    }
+
+    #[test]
+    fn wildcard_covers_unlisted_sites() {
+        let _s = serial();
+        arm_all(Schedule::Always);
+        assert!(check("any.site"));
+        assert!(check("other.site"));
+        disarm();
+    }
+
+    #[test]
+    fn prob_is_deterministic_for_a_seed() {
+        let _s = serial();
+        let run = || {
+            arm_site(
+                "test.prob",
+                Schedule::Prob {
+                    ppm: 250_000,
+                    seed: 7,
+                },
+            );
+            let v: Vec<bool> = (0..64).map(|_| check("test.prob")).collect();
+            disarm();
+            v
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shielded_thread_never_fires() {
+        let _s = serial();
+        arm_all(Schedule::Always);
+        shield_thread(true);
+        assert!(!check("any.site"));
+        shield_thread(false);
+        assert!(check("any.site"));
+        disarm();
+    }
+
+    #[test]
+    fn abandonment_scope_roundtrip() {
+        let _s = serial();
+        // A non-abandon panic must propagate.
+        let r = std::panic::catch_unwind(|| abandonment_scope(|| panic!("real failure")));
+        assert!(r.is_err());
+        // An abandon is absorbed; the flag is visible while unwinding.
+        let observed = std::sync::Arc::new(AtomicBool::new(false));
+        let obs = observed.clone();
+        struct Probe(std::sync::Arc<AtomicBool>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.store(thread_is_abandoning(), Ordering::SeqCst);
+            }
+        }
+        let r = std::thread::spawn(move || {
+            abandonment_scope(|| {
+                let _p = Probe(obs);
+                abandon();
+            })
+        })
+        .join()
+        .unwrap();
+        assert!(r.is_none());
+        assert!(
+            observed.load(Ordering::SeqCst),
+            "drops during the abandon unwind must see the abandoning flag"
+        );
+    }
+}

@@ -18,10 +18,14 @@
 //! * [`sync`] — the virtual-atomics facade every protocol atomic in this
 //!   crate stack goes through: `std::sync::atomic` in normal builds, the
 //!   `lfc-model` instrumented shadow memory under `--cfg lfc_model`.
+//! * [`fault`] — deterministic fault injection (allocation failure,
+//!   thread death) and the corpse/adoption machinery behind the
+//!   robustness test tier. Zero-cost when disarmed.
 
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod fault;
 pub mod lock;
 pub mod pad;
 pub mod rng;
@@ -34,6 +38,6 @@ pub use lock::TtasLock;
 pub use pad::CachePadded;
 pub use rng::SmallRng;
 pub use tid::{
-    active_threads, current_tid, detach_thread, on_thread_exit, registered_high_water,
-    thread_is_exiting, MAX_THREADS,
+    active_threads, current_tid, detach_thread, on_thread_exit, register_tid_finalizer,
+    registered_high_water, thread_is_exiting, tid_is_claimed, MAX_THREADS,
 };

@@ -57,12 +57,65 @@ impl Drop for ThreadSlot {
         for hook in self.exit_hooks.drain(..).rev() {
             hook();
         }
+        // Reset id-indexed state owned by other crates (hazard slot bank,
+        // epoch slot) before the id becomes claimable: without this, a
+        // thread that exited with a stale hazard value left in its bank
+        // published a phantom protection forever (or handed it to the next
+        // claimant of the id). Skipped under the model: the sweep is ~26
+        // *instrumented* stores per thread exit (every model thread exit is
+        // a scheduled step sequence), which multiplies every scenario's
+        // state space; model threads clear their guards deterministically,
+        // and the path the model actually checks — corpse adoption — runs
+        // the finalizers unconditionally in `release_corpse_tid`.
+        #[cfg(not(lfc_model))]
+        run_tid_finalizers(self.tid);
         CLAIMED[self.tid as usize].store(false, Ordering::Release);
         // After the hooks: an exiting thread can no longer observe a solo
         // section's intermediate state, so leaving the active set last is
         // safe, and it keeps the solo fast path disabled while the exit
         // hooks still retire memory.
         ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Fixed-size registry of per-tid finalizers, run after the exit hooks and
+/// before the id is released (both on normal exit and at corpse adoption).
+/// Plain `std` atomics: registration is infrastructure, not protocol state,
+/// and must not create model-checker choice points.
+const MAX_TID_FINALIZERS: usize = 8;
+static FINALIZERS: [std::sync::atomic::AtomicUsize; MAX_TID_FINALIZERS] =
+    [const { std::sync::atomic::AtomicUsize::new(0) }; MAX_TID_FINALIZERS];
+
+/// Register a finalizer to run whenever a thread id is released (normal
+/// exit or corpse adoption), after the thread's exit hooks. Idempotent per
+/// function pointer; panics if the fixed registry overflows.
+pub fn register_tid_finalizer(f: fn(u16)) {
+    use std::sync::atomic::Ordering as O;
+    let fp = f as usize;
+    debug_assert_ne!(fp, 0);
+    for slot in &FINALIZERS {
+        if slot.load(O::Acquire) == fp {
+            return;
+        }
+        if slot.compare_exchange(0, fp, O::AcqRel, O::Acquire).is_ok()
+            || slot.load(O::Acquire) == fp
+        {
+            return;
+        }
+    }
+    panic!("lfc-runtime: more than {MAX_TID_FINALIZERS} tid finalizers");
+}
+
+fn run_tid_finalizers(tid: u16) {
+    use std::sync::atomic::Ordering as O;
+    for slot in &FINALIZERS {
+        let fp = slot.load(O::Acquire);
+        if fp != 0 {
+            // Safety: only ever stored from a `fn(u16)` in
+            // `register_tid_finalizer`.
+            let f: fn(u16) = unsafe { std::mem::transmute::<usize, fn(u16)>(fp) };
+            f(tid);
+        }
     }
 }
 
@@ -177,6 +230,48 @@ pub fn detach_thread() {
                 // ThreadSlot::drop leaves the exiting flag set (real exits never come
                 // back); an explicitly detached thread may re-register.
     let _ = EXITING.try_with(|c| c.set(false));
+}
+
+/// Abandon the current thread's slot: run its exit hooks (magazine /
+/// descriptor-pool flushes, hazard retire hand-off — safe even
+/// mid-operation because the abandoning-aware `Drop` impls leaked anything
+/// still published) but **keep the id claimed and the active count up**.
+/// The thread becomes a corpse: its hazard bank keeps protecting whatever
+/// the abandoned operation holds, and no survivor can enter the solo
+/// regime while the corpse's descriptor may still be installed. A
+/// survivor later releases the id via [`release_corpse_tid`] (through
+/// `fault::release_corpse`). Returns the parked tid, or `None` if the
+/// thread never claimed one.
+pub(crate) fn abandon_thread_slot() -> Option<u16> {
+    let slot = SLOT.try_with(|s| s.borrow_mut().take()).unwrap_or(None)?;
+    let _ = EXITING.try_with(|c| c.set(true));
+    let mut slot = slot;
+    let hooks = std::mem::take(&mut slot.exit_hooks);
+    for hook in hooks.into_iter().rev() {
+        hook();
+    }
+    let tid = slot.tid;
+    // Skip ThreadSlot::drop entirely: no finalizers (the bank must keep
+    // protecting the abandoned operation), no CLAIMED release, no ACTIVE
+    // decrement. The hooks Vec was taken out above, so nothing leaks here
+    // beyond the id itself.
+    std::mem::forget(slot);
+    Some(tid)
+}
+
+/// Release a corpse's id after its announced operation was helped to
+/// completion: runs the tid finalizers (clearing the corpse's hazard bank
+/// and epoch slot) and frees the id. Adoption-side counterpart of the
+/// normal-exit path in `ThreadSlot::drop`.
+pub(crate) fn release_corpse_tid(tid: u16) {
+    run_tid_finalizers(tid);
+    CLAIMED[tid as usize].store(false, Ordering::Release);
+    ACTIVE.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Whether `tid` is currently claimed (live thread or corpse). Diagnostic.
+pub fn tid_is_claimed(tid: u16) -> bool {
+    CLAIMED[tid as usize].load(Ordering::Acquire)
 }
 
 #[cfg(test)]

@@ -212,7 +212,37 @@ fn snode_layout<K, T>() -> Layout {
 }
 
 fn alloc_snode<K, T>(so_key: usize, key: Option<K>, val: Option<T>) -> *mut SNode<K, T> {
-    let p = lfc_alloc::alloc_block(snode_layout::<K, T>()).cast::<SNode<K, T>>();
+    let p = lfc_alloc::alloc_block(snode_layout::<K, T>());
+    unsafe { init_snode(p, so_key, key, val) }
+}
+
+/// Fallible [`alloc_snode`] (`structures.node` fault site): hands key and
+/// value back on failure so the caller keeps ownership.
+#[allow(clippy::type_complexity)]
+fn try_alloc_snode<K, T>(
+    so_key: usize,
+    key: Option<K>,
+    val: Option<T>,
+) -> Result<*mut SNode<K, T>, (Option<K>, Option<T>, lfc_alloc::AllocError)> {
+    if lfc_runtime::fault::check("structures.node") {
+        return Err((key, val, lfc_alloc::AllocError));
+    }
+    match lfc_alloc::try_alloc_block(snode_layout::<K, T>()) {
+        Ok(p) => Ok(unsafe { init_snode(p, so_key, key, val) }),
+        Err(e) => Err((key, val, e)),
+    }
+}
+
+/// # Safety
+///
+/// `p` must be a fresh block of `snode_layout::<K, T>()`.
+unsafe fn init_snode<K, T>(
+    p: std::ptr::NonNull<u8>,
+    so_key: usize,
+    key: Option<K>,
+    val: Option<T>,
+) -> *mut SNode<K, T> {
+    let p = p.cast::<SNode<K, T>>();
     // Safety: fresh block of the right layout.
     unsafe {
         p.as_ptr().write(SNode {
@@ -311,8 +341,8 @@ fn segment_layout(len: usize) -> Layout {
     Layout::array::<AtomicUsize>(len + 1).expect("segment fits in isize")
 }
 
-fn alloc_segment(len: usize) -> *mut AtomicUsize {
-    let p = lfc_alloc::alloc_block(segment_layout(len)).cast::<AtomicUsize>();
+fn try_alloc_segment(len: usize) -> Result<*mut AtomicUsize, lfc_alloc::AllocError> {
+    let p = lfc_alloc::try_alloc_block(segment_layout(len))?.cast::<AtomicUsize>();
     // Safety: fresh block sized for len + 1 atomics.
     unsafe {
         p.as_ptr().write(AtomicUsize::new(len));
@@ -320,7 +350,7 @@ fn alloc_segment(len: usize) -> *mut AtomicUsize {
             p.as_ptr().add(1 + i).write(AtomicUsize::new(0));
         }
     }
-    p.as_ptr()
+    Ok(p.as_ptr())
 }
 
 unsafe fn reclaim_segment(p: *mut u8) {
@@ -479,13 +509,30 @@ where
     /// Segment `k`'s base pointer, allocating (and racing to publish) it on
     /// first touch.
     fn segment(&self, k: usize) -> *mut AtomicUsize {
+        match self.try_segment(k, false) {
+            Some(p) => p,
+            // try_segment(_, false) only fails through `try_alloc_block`,
+            // which the infallible path escalates.
+            None => panic!("lfc-structures: directory segment allocation failed"),
+        }
+    }
+
+    /// [`segment`](Self::segment), degrading instead of panicking: `None`
+    /// when the segment is unallocated and allocating it failed (genuine
+    /// exhaustion, or — with `faultable` — the `map.segment` site). The
+    /// caller falls back to an ancestor bucket's dummy; the directory heals
+    /// on a later touch once memory returns.
+    fn try_segment(&self, k: usize, faultable: bool) -> Option<*mut AtomicUsize> {
         // Acquire (audited): pairs with the Release publication below so a
         // reader that sees the pointer sees the zeroed slots + len header.
         let p = self.hdr().dir[k].load(Ordering::Acquire);
         if p != 0 {
-            return p as *mut AtomicUsize;
+            return Some(p as *mut AtomicUsize);
         }
-        let fresh = alloc_segment(self.seg_len(k));
+        if faultable && lfc_runtime::fault::check("map.segment") {
+            return None;
+        }
+        let fresh = try_alloc_segment(self.seg_len(k)).ok()?;
         match self.hdr().dir[k].compare_exchange(
             0,
             fresh as usize,
@@ -494,11 +541,11 @@ where
             Ordering::AcqRel,
             Ordering::Acquire,
         ) {
-            Ok(_) => fresh,
+            Ok(_) => Some(fresh),
             Err(won) => {
                 // Safety: our segment was never published; unique owner.
                 unsafe { lfc_alloc::free_block(fresh as *mut u8, segment_layout(self.seg_len(k))) };
-                won as *mut AtomicUsize
+                Some(won as *mut AtomicUsize)
             }
         }
     }
@@ -512,12 +559,33 @@ where
         unsafe { &*self.segment(k).add(1 + off) }
     }
 
+    /// Bucket `b`'s slot if its segment is (or can be made) resident;
+    /// `None` degrades the caller to an ancestor bucket.
+    #[inline]
+    fn try_bucket_slot(&self, b: usize) -> Option<&AtomicUsize> {
+        let (k, off) = self.seg_coords(b);
+        let seg = self.try_segment(k, true)?;
+        // Safety: as in `bucket_slot`.
+        Some(unsafe { &*seg.add(1 + off) })
+    }
+
     /// Bucket `b`'s dummy node, lazily threading it (and its ancestors)
     /// into the list on first touch — the per-operation amortized split.
+    ///
+    /// Degrades under memory pressure instead of failing: if the bucket's
+    /// directory segment or dummy node cannot be allocated (or the
+    /// `map.segment` / `map.dummy` fault sites fire), the *parent* bucket's
+    /// dummy is returned. That is always correct — every key of bucket `b`
+    /// sorts inside its parent's chain — it merely lengthens the walk until
+    /// a later operation succeeds in materializing the split.
     fn dummy_of(&self, b: usize, g: &Guard) -> *mut SNode<K, T> {
+        let Some(slot) = self.try_bucket_slot(b) else {
+            debug_assert!(b > 0, "segment 0 is allocated at construction");
+            return self.dummy_of(parent_bucket(b), g);
+        };
         // Acquire (audited): pairs with the Release slot store below (and
         // in `with_buckets`), publishing the dummy's immutable fields.
-        let p = self.bucket_slot(b).load(Ordering::Acquire);
+        let p = slot.load(Ordering::Acquire);
         if p != 0 {
             return p as *mut SNode<K, T>;
         }
@@ -535,6 +603,11 @@ where
     fn init_bucket(&self, b: usize, g: &Guard) -> *mut SNode<K, T> {
         let parent = self.dummy_of(parent_bucket(b), g);
         let dkey = so_dummy_key(b);
+        if lfc_runtime::fault::check("map.dummy") {
+            // Degrade: no dummy for `b` this time; the operation starts
+            // from the parent's chain (see `dummy_of`).
+            return parent;
+        }
         let mut fresh: *mut SNode<K, T> = std::ptr::null_mut();
         let dummy = loop {
             let pos = self.find_from(parent, dkey, None, g);
@@ -546,7 +619,11 @@ where
                 }
             }
             if fresh.is_null() {
-                fresh = alloc_snode::<K, T>(dkey, None, None);
+                fresh = match try_alloc_snode::<K, T>(dkey, None, None) {
+                    Ok(p) => p,
+                    // Genuine exhaustion: same degrade as the fault site.
+                    Err(_) => return parent,
+                };
             }
             // Safety: fresh is ours until published.
             unsafe { &(*fresh).next }.store_word(pos.cur as usize);
@@ -687,6 +764,14 @@ where
         let items = self.hdr().items.fetch_add(1, Ordering::Relaxed) + 1;
         let size = self.hdr().size.load(Ordering::Relaxed);
         if items > size << GROW_SHIFT && size < self.max_size {
+            // Degrade under memory pressure (`map.grow` fault site): skip
+            // the doubling — growth is an optimization, never a correctness
+            // requirement, so the map simply runs at a higher load factor
+            // (longer chains) until the pressure lifts. The heuristic
+            // re-fires on every later insert, so growth resumes by itself.
+            if lfc_runtime::fault::check("map.grow") {
+                return;
+            }
             // Relaxed CAS (audited): doubling publishes nothing — new
             // buckets' dummies are created lazily by their first toucher,
             // whose directory/list publications carry their own
@@ -764,6 +849,29 @@ where
         self.insert_key_with(key, val, &mut NormalCas) == InsertOutcome::Inserted
     }
 
+    /// Fallible [`LfHashMap::insert`]: a node-allocation failure (genuine
+    /// exhaustion, or the `structures.node` fault site) surfaces as `Err`
+    /// with the key/value pair handed back and the map untouched. Directory
+    /// growth never fails an insert — under pressure the map degrades to
+    /// no-resize instead (see `map.grow` / `map.segment` / `map.dummy`).
+    #[allow(clippy::type_complexity)]
+    pub fn try_insert(&self, key: K, val: T) -> Result<bool, ((K, T), lfc_alloc::AllocError)> {
+        let h = Self::hash(&key);
+        let node = match try_alloc_snode(so_data_key(h), Some(key), Some(val)) {
+            Ok(n) => n,
+            Err((k, v, e)) => {
+                return Err((
+                    (
+                        k.expect("key handed back on failure"),
+                        v.expect("value handed back on failure"),
+                    ),
+                    e,
+                ));
+            }
+        };
+        Ok(self.insert_snode(h, node, &mut NormalCas) == InsertOutcome::Inserted)
+    }
+
     /// Remove the element under `key`.
     pub fn remove(&self, key: &K) -> Option<T> {
         match self.remove_key_with(key, &mut NormalCas) {
@@ -831,16 +939,22 @@ where
     }
 }
 
-impl<K, T> KeyedMoveTarget<K, T> for LfHashMap<K, T>
+impl<K, T> LfHashMap<K, T>
 where
     K: Hash + Ord + Clone + Send + Sync + 'static,
     T: Clone + Send + Sync + 'static,
 {
-    fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome {
+    /// The insert loop on an already-allocated data node: the shared tail
+    /// of the infallible ([`KeyedMoveTarget::insert_key_with`]) and
+    /// fallible ([`LfHashMap::try_insert`]) insert paths.
+    fn insert_snode<C: InsertCtx>(
+        &self,
+        h: usize,
+        node: *mut SNode<K, T>,
+        ctx: &mut C,
+    ) -> InsertOutcome {
         let mut g = pin_op();
-        let h = Self::hash(&key);
         let so = so_data_key(h);
-        let node = alloc_snode(so, Some(key), Some(elem));
         loop {
             // Ejection check (PR 6): the attempt re-resolves its start
             // dummy anyway, so an ejected thread just re-enters here;
@@ -890,6 +1004,18 @@ where
                 }
             }
         }
+    }
+}
+
+impl<K, T> KeyedMoveTarget<K, T> for LfHashMap<K, T>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    fn insert_key_with<C: InsertCtx>(&self, key: K, elem: T, ctx: &mut C) -> InsertOutcome {
+        let h = Self::hash(&key);
+        let node = alloc_snode(so_data_key(h), Some(key), Some(elem));
+        self.insert_snode(h, node, ctx)
     }
 }
 

@@ -21,7 +21,7 @@
 
 use crate::node::{
     alloc_node, alloc_pair_header, clone_val, free_unpublished_node, retire_node,
-    retire_pair_header, Node, PairHeader,
+    retire_pair_header, try_alloc_node, try_alloc_pair_header, Node, PairHeader,
 };
 use lfc_core::{
     InsertCtx, InsertOutcome, LinPoint, MoveSource, MoveTarget, NormalCas, RemoveCtx,
@@ -65,6 +65,28 @@ impl<T: Clone + Send + Sync + 'static> MsQueue<T> {
         }
     }
 
+    /// Fallible [`MsQueue::new`]: surfaces dummy-node or header allocation
+    /// failure (genuine exhaustion, or the `structures.node` /
+    /// `structures.header` fault sites) as `Err` instead of panicking.
+    pub fn try_new() -> Result<Self, lfc_alloc::AllocError> {
+        let dummy = match try_alloc_node::<T>(None) {
+            Ok(n) => n,
+            Err((_, e)) => return Err(e),
+        };
+        match try_alloc_pair_header(dummy as usize, dummy as usize) {
+            Ok(header) => Ok(MsQueue {
+                header,
+                backoff: BackoffCfg::NONE,
+                _marker: std::marker::PhantomData,
+            }),
+            Err(e) => {
+                // Safety: the dummy was never published.
+                unsafe { free_unpublished_node(dummy) };
+                Err(e)
+            }
+        }
+    }
+
     #[inline]
     fn h(&self) -> &PairHeader {
         // Safety: the header lives until Drop retires it.
@@ -90,6 +112,19 @@ impl<T: Clone + Send + Sync + 'static> MsQueue<T> {
     pub fn enqueue(&self, v: T) {
         let r = self.insert_with(v, &mut NormalCas);
         debug_assert_eq!(r, InsertOutcome::Inserted);
+    }
+
+    /// Fallible [`MsQueue::enqueue`]: a node-allocation failure (genuine
+    /// exhaustion, or the `structures.node` fault site) surfaces as `Err`
+    /// with the element handed back and the queue untouched.
+    pub fn try_enqueue(&self, v: T) -> Result<(), (T, lfc_alloc::AllocError)> {
+        let node = match try_alloc_node(Some(v)) {
+            Ok(n) => n,
+            Err((v, e)) => return Err((v.expect("value handed back on failure"), e)),
+        };
+        let r = self.insert_node(node, &mut NormalCas);
+        debug_assert_eq!(r, InsertOutcome::Inserted);
+        Ok(())
     }
 
     /// Remove and return the element at the head, if any. Lock-free.
@@ -135,13 +170,12 @@ impl<T: Clone + Send + Sync + 'static> Default for MsQueue<T> {
     }
 }
 
-impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for MsQueue<T> {
-    /// Algorithm 5, `enqueue` (lines Q1–Q20). Fence-free since PR 3: the
-    /// operation epoch replaces the Q7/Q9 hazard publications and the
-    /// Q10 validation re-read — a stale `ltail` simply fails the Q14 CAS.
-    fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+impl<T: Clone + Send + Sync + 'static> MsQueue<T> {
+    /// Algorithm 5, `enqueue` (lines Q5–Q20), on an already-allocated node:
+    /// the shared tail of the infallible ([`MoveTarget::insert_with`]) and
+    /// fallible ([`MsQueue::try_enqueue`]) insert paths.
+    fn insert_node<C: InsertCtx>(&self, node: *mut Node<T>, ctx: &mut C) -> InsertOutcome {
         let mut g = pin_op();
-        let node = alloc_node(Some(elem)); // Q2–Q4 (next = 0)
         let mut bo = Backoff::new(self.backoff);
         loop {
             // Ejection check (PR 6): nothing from a prior iteration is
@@ -183,6 +217,16 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for MsQueue<T> {
                 ScasResult::Fail => bo.fail(),
             }
         }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for MsQueue<T> {
+    /// Algorithm 5, `enqueue` (lines Q1–Q20). Fence-free since PR 3: the
+    /// operation epoch replaces the Q7/Q9 hazard publications and the
+    /// Q10 validation re-read — a stale `ltail` simply fails the Q14 CAS.
+    fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+        let node = alloc_node(Some(elem)); // Q2–Q4 (next = 0)
+        self.insert_node(node, ctx)
     }
 }
 

@@ -40,7 +40,30 @@ const fn node_layout<T>() -> Layout {
 /// Allocate and initialize a node. The returned pointer is at least
 /// 8-aligned, i.e. a valid raw protocol word.
 pub(crate) fn alloc_node<T>(val: Option<T>) -> *mut Node<T> {
-    let p = lfc_alloc::alloc_block(node_layout::<T>()).cast::<Node<T>>();
+    let p = lfc_alloc::alloc_block(node_layout::<T>());
+    unsafe { init_node(p, val) }
+}
+
+/// Fallible [`alloc_node`]: surfaces exhaustion (or the `structures.node`
+/// fault site) as `Err` instead of panicking. On failure the element is
+/// handed back so the caller keeps ownership.
+pub(crate) fn try_alloc_node<T>(
+    val: Option<T>,
+) -> Result<*mut Node<T>, (Option<T>, lfc_alloc::AllocError)> {
+    if lfc_runtime::fault::check("structures.node") {
+        return Err((val, lfc_alloc::AllocError));
+    }
+    match lfc_alloc::try_alloc_block(node_layout::<T>()) {
+        Ok(p) => Ok(unsafe { init_node(p, val) }),
+        Err(e) => Err((val, e)),
+    }
+}
+
+/// # Safety
+///
+/// `p` must be a fresh block of `node_layout::<T>()`.
+unsafe fn init_node<T>(p: NonNull<u8>, val: Option<T>) -> *mut Node<T> {
+    let p = p.cast::<Node<T>>();
     // Safety: fresh, correctly sized and aligned block.
     unsafe {
         p.as_ptr().write(Node {
@@ -148,6 +171,26 @@ pub(crate) fn alloc_pair_header(first: Word, second: Word) -> NonNull<PairHeader
     p
 }
 
+/// Fallible [`alloc_pair_header`] (`structures.header` fault site): lets
+/// constructors degrade to `Err` under memory pressure instead of aborting.
+pub(crate) fn try_alloc_pair_header(
+    first: Word,
+    second: Word,
+) -> Result<NonNull<PairHeader>, lfc_alloc::AllocError> {
+    if lfc_runtime::fault::check("structures.header") {
+        return Err(lfc_alloc::AllocError);
+    }
+    let p = lfc_alloc::try_alloc_block(Layout::new::<PairHeader>())?.cast::<PairHeader>();
+    // Safety: fresh block.
+    unsafe {
+        p.as_ptr().write(PairHeader {
+            first: DAtomic::new(first),
+            second: DAtomic::new(second),
+        });
+    }
+    Ok(p)
+}
+
 pub(crate) fn alloc_solo_header(word: Word) -> NonNull<SoloHeader> {
     let p = lfc_alloc::alloc_block(Layout::new::<SoloHeader>()).cast::<SoloHeader>();
     // Safety: fresh block.
@@ -157,6 +200,23 @@ pub(crate) fn alloc_solo_header(word: Word) -> NonNull<SoloHeader> {
         });
     }
     p
+}
+
+/// Fallible [`alloc_solo_header`] (`structures.header` fault site).
+pub(crate) fn try_alloc_solo_header(
+    word: Word,
+) -> Result<NonNull<SoloHeader>, lfc_alloc::AllocError> {
+    if lfc_runtime::fault::check("structures.header") {
+        return Err(lfc_alloc::AllocError);
+    }
+    let p = lfc_alloc::try_alloc_block(Layout::new::<SoloHeader>())?.cast::<SoloHeader>();
+    // Safety: fresh block.
+    unsafe {
+        p.as_ptr().write(SoloHeader {
+            word: DAtomic::new(word),
+        });
+    }
+    Ok(p)
 }
 
 pub(crate) unsafe fn reclaim_pair_header(p: *mut u8) {

@@ -11,7 +11,7 @@
 use crate::elim::ElimArray;
 use crate::node::{
     alloc_node, alloc_solo_header, clone_val, free_unpublished_node, retire_node,
-    retire_solo_header, Node, SoloHeader,
+    retire_solo_header, try_alloc_node, try_alloc_solo_header, Node, SoloHeader,
 };
 use lfc_core::{
     InsertCtx, InsertOutcome, LinPoint, MoveSource, MoveTarget, NormalCas, RemoveCtx,
@@ -59,6 +59,19 @@ impl<T: Clone + Send + Sync + 'static> TreiberStack<T> {
         }
     }
 
+    /// Fallible [`TreiberStack::new`]: surfaces header-allocation failure
+    /// (genuine exhaustion, or the `structures.header` fault site) as `Err`
+    /// instead of panicking.
+    pub fn try_new() -> Result<Self, lfc_alloc::AllocError> {
+        Ok(TreiberStack {
+            header: try_alloc_solo_header(0)?,
+            backoff: BackoffCfg::NONE,
+            elim: ElimArray::new(),
+            elim_enabled: true,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
     /// Empty stack with the elimination layer disabled — the PR 6 behaviour,
     /// kept for baseline measurements and tests that need every operation
     /// to linearize on `top`.
@@ -83,6 +96,19 @@ impl<T: Clone + Send + Sync + 'static> TreiberStack<T> {
     pub fn push(&self, v: T) {
         let r = self.insert_with(v, &mut NormalCas);
         debug_assert_eq!(r, InsertOutcome::Inserted);
+    }
+
+    /// Fallible [`TreiberStack::push`]: a node-allocation failure (genuine
+    /// exhaustion, or the `structures.node` fault site) surfaces as `Err`
+    /// with the element handed back and the stack untouched.
+    pub fn try_push(&self, v: T) -> Result<(), (T, lfc_alloc::AllocError)> {
+        let node = match try_alloc_node(Some(v)) {
+            Ok(n) => n,
+            Err((v, e)) => return Err((v.expect("value handed back on failure"), e)),
+        };
+        let r = self.insert_node(node, &mut NormalCas);
+        debug_assert_eq!(r, InsertOutcome::Inserted);
+        Ok(())
     }
 
     /// Pop the most recently pushed element, if any. Lock-free.
@@ -120,13 +146,12 @@ impl<T: Clone + Send + Sync + 'static> Default for TreiberStack<T> {
     }
 }
 
-impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
-    /// Algorithm 6, `push` (lines S1–S12). Needs no operation epoch: the
-    /// only shared word it touches is `top` (header allocation, kept alive
-    /// by the `&self` borrow); it never dereferences a node.
-    fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+impl<T: Clone + Send + Sync + 'static> TreiberStack<T> {
+    /// Algorithm 6, `push` (lines S4–S12), on an already-allocated node:
+    /// the shared tail of the infallible ([`MoveTarget::insert_with`]) and
+    /// fallible ([`TreiberStack::try_push`]) insert paths.
+    fn insert_node<C: InsertCtx>(&self, node: *mut Node<T>, ctx: &mut C) -> InsertOutcome {
         let g = pin();
-        let node = alloc_node(Some(elem)); // S2–S3
         #[cfg(lfc_model)]
         if self.elim_enabled && ctx.eliminable() && crate::model_toggles::force_elim() {
             // Deterministic-exploration hook: collide in the exchanger
@@ -173,6 +198,16 @@ impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
                 }
             }
         }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> MoveTarget<T> for TreiberStack<T> {
+    /// Algorithm 6, `push` (lines S1–S12). Needs no operation epoch: the
+    /// only shared word it touches is `top` (header allocation, kept alive
+    /// by the `&self` borrow); it never dereferences a node.
+    fn insert_with<C: InsertCtx>(&self, elem: T, ctx: &mut C) -> InsertOutcome {
+        let node = alloc_node(Some(elem)); // S2–S3
+        self.insert_node(node, ctx)
     }
 }
 

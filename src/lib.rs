@@ -29,10 +29,11 @@
 #![warn(missing_docs)]
 
 pub use lfc_core::{
-    move_keyed, move_keyed_to_all, move_keyed_to_unkeyed, move_one, move_to_all, swap, Composition,
-    DynMoveTarget, InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint,
-    MoveOutcome, MoveSource, MoveTarget, NormalCas, RemoveCtx, RemoveOutcome, ScasResult,
-    SwapOutcome, MAX_ENTRIES, MAX_TARGETS,
+    move_keyed, move_keyed_to_all, move_keyed_to_unkeyed, move_one, move_to_all, swap,
+    try_move_keyed, try_move_keyed_to_all, try_move_keyed_to_unkeyed, try_move_one,
+    try_move_to_all, try_swap, Composition, DynMoveTarget, InsertCtx, InsertOutcome,
+    KeyedMoveSource, KeyedMoveTarget, LinPoint, MoveOutcome, MoveSource, MoveTarget, NormalCas,
+    RemoveCtx, RemoveOutcome, ScasResult, SwapOutcome, MAX_ENTRIES, MAX_TARGETS,
 };
 pub use lfc_core::{BatchGate, BatchOp, MoveKeyedOp, MoveKeyedToAllOp, MoveOneOp, SwapOp};
 /// The composition-engine builder module (sources, stages, [`Composition`]).
@@ -52,12 +53,29 @@ pub use lfc_structures::*;
 
 /// Re-export of the hazard-pointer domain (diagnostics and advanced use).
 pub mod hazard {
-    pub use lfc_hazard::{flush, pending_retired, pin, stats, Guard};
+    pub use lfc_hazard::{bank_is_clear, flush, pending_retired, pin, stats, Guard};
 }
 
 /// Re-export of the pooling allocator statistics.
 pub mod alloc_stats {
-    pub use lfc_alloc::{outstanding, stats, AllocStats};
+    pub use lfc_alloc::{outstanding, stats, AllocError, AllocStats};
+}
+
+/// Fault-injection subsystem (testing/robustness): named failure sites,
+/// injected thread death, and the corpse registry (see
+/// `lfc_runtime::fault`).
+pub mod fault {
+    pub use lfc_runtime::fault::{
+        abandon, abandoned_total, abandonment_scope, adopted_total, arm_all, arm_script, arm_site,
+        corpse_count, corpses, counters, disarm, fired_total, install_quiet_abandon_hook,
+        is_corpse, shield_thread, thread_is_abandoning, Schedule,
+    };
+}
+
+/// Dead-thread adoption: survivors complete and reclaim operations whose
+/// owner died mid-flight (see `lfc_dcas::adopt`).
+pub mod adopt {
+    pub use lfc_dcas::adopt::{adopt_dead_threads, announced, helped_completions};
 }
 
 /// Linearizability checking toolkit (used by the test-suite; public because
