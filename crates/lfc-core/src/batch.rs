@@ -454,8 +454,9 @@ where
 // Direct (budgeted) drivers for the adaptive fast path.
 // ---------------------------------------------------------------------------
 
-/// Budgeted `move_one`: `None` = starved on contention, fall back to the
-/// gate.
+/// Budgeted `move_one`: `None` = starved on contention — or the fallible
+/// commit's own descriptor allocation failed (budgeted engines never reach
+/// the aborting allocator) — fall back to the gate / retry.
 pub fn direct_move_one<T, S, D>(src: &S, dst: &D, fail_budget: u32) -> Option<Word>
 where
     T: Clone,
@@ -469,7 +470,7 @@ where
         cont: |eng: &mut Engine, elem: &T| run_insert(eng, 1, dst, elem.clone(), Engine::commit),
     });
     eng.finish();
-    if eng.starved() {
+    if eng.starved() || eng.oom() {
         None
     } else {
         Some(encode_move(move_verdict(&eng, outcome)))
@@ -496,7 +497,7 @@ where
         },
     );
     eng.finish();
-    if eng.starved() {
+    if eng.starved() || eng.oom() {
         None
     } else {
         Some(encode_move(move_verdict(&eng, outcome)))
@@ -531,7 +532,7 @@ where
         },
     );
     eng.finish();
-    if eng.starved() {
+    if eng.starved() || eng.oom() {
         None
     } else {
         Some(encode_move(move_verdict(&eng, outcome)))
@@ -558,7 +559,7 @@ where
         },
     });
     eng.finish();
-    if eng.starved() {
+    if eng.starved() || eng.oom() {
         return None;
     }
     Some(encode_swap(match outcome {
@@ -841,12 +842,26 @@ impl<R: BatchOp> BatchGate<R> {
             Ok(n) => n,
             Err(_) => {
                 // No memory for a request node: degrade to direct execution
-                // with an effectively unbounded commit budget. Lock-free
-                // (each failed commit means a rival made progress); only
-                // the batching optimization is lost under pressure.
+                // with an effectively unbounded commit budget. The direct
+                // attempt commits fallibly (budgeted engines, see
+                // `Engine::new_budgeted`), so a descriptor refill failing
+                // under the same pressure surfaces as `None` here instead
+                // of reaching the aborting allocator; back off and retry —
+                // each round either a rival made progress (commit failure)
+                // or memory is still short and yielding is the best this
+                // infallible entry point can do.
+                let mut spins: u32 = 1;
                 loop {
                     if let Some(w) = req.try_direct(u32::MAX) {
                         return w;
+                    }
+                    for _ in 0..spins {
+                        spin_loop();
+                    }
+                    if spins < 1024 {
+                        spins <<= 1;
+                    } else {
+                        yield_now();
                     }
                 }
             }

@@ -166,10 +166,15 @@ impl Engine {
     }
 
     /// A budgeted engine for the batched front-end's direct attempts (see
-    /// [`Engine::fail_budget`]).
+    /// [`Engine::fail_budget`]). Budgeted engines also commit *fallibly*:
+    /// the gate's OOM fallback runs direct attempts under exactly the
+    /// memory pressure that failed its node allocation, so a descriptor
+    /// refill there must surface as [`Engine::oom`] (the caller retries or
+    /// falls back) rather than reach the aborting allocator.
     pub(crate) fn new_budgeted(plan: usize, fail_budget: u32) -> Engine {
         let mut eng = Engine::new(plan);
         eng.fail_budget = Some(fail_budget);
+        eng.fallible = true;
         eng
     }
 

@@ -46,10 +46,10 @@ static ANNOUNCE: [CachePadded<AtomicUsize>; MAX_THREADS] =
 
 /// Publish `tid`'s in-flight descriptor word for adopters.
 ///
-/// Release (audited): an adopter reads this slot only through
-/// `fault::corpses()` — an Acquire load of the corpse flag that the dying
-/// thread Release-stores *after* this store in program order (every kill
-/// site sits between announce and clear). That synchronizes-with edge
+/// Release (audited): an adopter reads this slot only after winning
+/// `fault::claim_corpse` — an Acquire CAS of the corpse flag that the
+/// dying thread Release-stores *after* this store in program order (every
+/// kill site sits between announce and clear). That synchronizes-with edge
 /// already makes the announced word (and the descriptor fields written
 /// before it) visible to the adopter, so this store needs no ordering of
 /// its own; SeqCst here would put a full fence on every non-solo commit
@@ -75,8 +75,21 @@ pub fn announced(tid: u16) -> Word {
 /// Adopt every corpse (thread that died mid-operation, see
 /// `lfc_runtime::fault`): help its announced operation to completion,
 /// then release its thread id, hazard bank and epoch slot. Exactly one
-/// adopter wins each corpse; the loser's help is harmless (helping is
-/// idempotent). Returns the number of corpses this call released.
+/// adopter wins each corpse; losers skip it entirely. Returns the number
+/// of corpses this call released.
+///
+/// The claim comes **first** — before the announce read and the help.
+/// Claim-after-help has an ABA hole: between this adopter's announce
+/// snapshot and its claim CAS, a rival can claim + release the corpse,
+/// the freed tid can be re-minted by a new thread that announces a new
+/// operation and dies again, and the stale adopter's claim then succeeds
+/// against the *new* incarnation — clearing an announce slot (and, via
+/// release, a hazard bank) that still protects an undecided operation.
+/// Claiming first closes the window: the tid cannot be released (and so
+/// cannot be re-minted) while this adopter holds the claim, so the
+/// announce word it reads is the claimed incarnation's. An adopter that
+/// cannot finish the help (allocation failure) re-parks the corpse for a
+/// later pass instead of releasing it.
 ///
 /// Callers need any pinned guard; the helping path adopts the corpse's
 /// hazards exactly like an ordinary `read`-helper (Lemma 6 holds because
@@ -84,6 +97,10 @@ pub fn announced(tid: u16) -> Word {
 pub fn adopt_dead_threads(g: &Guard) -> usize {
     let mut released = 0;
     for tid in fault::corpses() {
+        if !fault::claim_corpse(tid) {
+            // A rival adopter owns this corpse (or already released it).
+            continue;
+        }
         let w = ANNOUNCE[tid as usize].load(Ordering::SeqCst);
         #[cfg(lfc_model)]
         let skip_help = model_toggles::SKIP_ADOPT_HELP.load(std::sync::atomic::Ordering::Relaxed);
@@ -101,18 +118,17 @@ pub fn adopt_dead_threads(g: &Guard) -> usize {
             unsafe { help_announced(w, g) }
         };
         if !decided {
-            // This adopter ran out of memory mid-help; leave the corpse for
-            // a later (or better-resourced) adoption pass.
+            // This adopter ran out of memory mid-help; re-park the corpse
+            // for a later (or better-resourced) adoption pass.
+            fault::repark_corpse(tid);
             continue;
         }
-        if fault::claim_corpse(tid) {
-            // The operation is decided (helped above, or completed earlier
-            // by organic read-helping); releasing the bank is now safe.
-            ANNOUNCE[tid as usize].store(0, Ordering::Release);
-            fault::release_corpse(tid);
-            counters_adopt::ADOPTIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            released += 1;
-        }
+        // The operation is decided (helped above, or completed earlier by
+        // organic read-helping); releasing the bank is now safe.
+        ANNOUNCE[tid as usize].store(0, Ordering::Release);
+        fault::release_corpse(tid);
+        counters_adopt::ADOPTIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        released += 1;
     }
     released
 }

@@ -230,6 +230,11 @@ fn check_slow(site: &'static str) -> bool {
         Some(w) => {
             let fired = w.eval();
             if fired {
+                // Attribute the fire to the concrete site only: the `*`
+                // row reports checks (its schedule still paces off them),
+                // so each injected fault is counted exactly once and
+                // `fired_total` stays honest.
+                w.fired -= 1;
                 st.sites
                     .entry(site.to_string())
                     .or_insert_with(|| SiteState::new(None))
@@ -289,7 +294,9 @@ pub fn disarm() {
 }
 
 /// Per-site `(site, checks, fired)` counters, sorted by site name.
-/// Empty when nothing was ever armed.
+/// Empty when nothing was ever armed. Wildcard-injected faults are
+/// attributed to the concrete site they fired at; the trailing `"*"` row
+/// carries the wildcard's check count only.
 pub fn counters() -> Vec<(String, u64, u64)> {
     let reg = lock_registry();
     let Some(st) = reg.as_ref() else {
@@ -318,7 +325,14 @@ fn init_from_env() {
     }
     match std::env::var("LFC_FAULTS") {
         Ok(spec) if !spec.trim().is_empty() => {
-            let mut st = FaultState::default();
+            // Merge into the existing registry rather than replacing it: a
+            // concurrent `arm_site`/`arm_all` may have inserted its
+            // schedule after our caller loaded `STATE == ST_UNKNOWN` but
+            // before its own `mark_armed` ran; clobbering the registry
+            // here would silently discard that programmatic schedule. On a
+            // collision the programmatic entry wins (it is the more
+            // deliberate of the two).
+            let st = reg.get_or_insert_with(FaultState::default);
             for entry in spec.split([';', ',']).filter(|e| !e.trim().is_empty()) {
                 let (site, sched) = entry
                     .split_once('=')
@@ -326,13 +340,22 @@ fn init_from_env() {
                 let sched = parse_schedule(sched.trim())
                     .unwrap_or_else(|| panic!("LFC_FAULTS: bad schedule in {entry:?}"));
                 if site.trim() == "*" {
-                    st.wildcard = Some(SiteState::new(Some(sched)));
+                    if st.wildcard.as_ref().is_none_or(|w| w.schedule.is_none()) {
+                        st.wildcard = Some(SiteState::new(Some(sched)));
+                    }
                 } else {
-                    st.sites
-                        .insert(site.trim().to_string(), SiteState::new(Some(sched)));
+                    match st.sites.entry(site.trim().to_string()) {
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            v.insert(SiteState::new(Some(sched)));
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut o) => {
+                            if o.get().schedule.is_none() {
+                                o.insert(SiteState::new(Some(sched)));
+                            }
+                        }
+                    }
                 }
             }
-            *reg = Some(st);
             drop(reg);
             mark_armed();
         }
@@ -483,6 +506,16 @@ pub fn claim_corpse(tid: u16) -> bool {
         .is_ok()
 }
 
+/// Put a claimed corpse back on the adoption list: the adopter could not
+/// finish helping the announced operation (its own allocation failed
+/// mid-help), so the corpse's id, bank and announce slot must stay parked
+/// for a later pass. Call only after [`claim_corpse`] succeeded and
+/// *instead of* [`release_corpse`] — the counters are untouched because
+/// the claim released nothing.
+pub fn repark_corpse(tid: u16) {
+    CORPSE[tid as usize].store(true, Ordering::Release);
+}
+
 /// Release a claimed corpse's resources: runs the tid finalizers (hazard
 /// bank + epoch-slot reset) and frees the id back to the registry.
 ///
@@ -575,6 +608,41 @@ mod tests {
         assert!(check("any.site"));
         assert!(check("other.site"));
         disarm();
+    }
+
+    #[test]
+    fn wildcard_fires_counted_once() {
+        let _s = serial();
+        arm_all(Schedule::Always);
+        assert!(check("wild.a"));
+        assert!(check("wild.a"));
+        assert!(check("wild.b"));
+        // Each injected fault appears exactly once in the totals: the
+        // concrete site carries the attribution, the `*` row only checks.
+        assert_eq!(fired_total(), 3);
+        let c = counters();
+        let star = c.iter().find(|(s, _, _)| s == "*").unwrap();
+        assert_eq!((star.1, star.2), (3, 0));
+        let a = c.iter().find(|(s, _, _)| s == "wild.a").unwrap();
+        assert_eq!(a.2, 2);
+        disarm();
+    }
+
+    #[test]
+    fn repark_returns_corpse_to_the_list() {
+        let _s = serial();
+        let tid = 0u16;
+        CORPSE[tid as usize].store(true, Ordering::Release);
+        CORPSE_COUNT.fetch_add(1, Ordering::Relaxed);
+        assert!(claim_corpse(tid));
+        assert!(!is_corpse(tid), "claimed corpse leaves the list");
+        assert_eq!(corpse_count(), 1, "a claim releases nothing");
+        repark_corpse(tid);
+        assert!(is_corpse(tid), "re-parked corpse is adoptable again");
+        assert_eq!(corpse_count(), 1);
+        // Clean up without running tid finalizers (the slot was synthetic).
+        assert!(claim_corpse(tid));
+        CORPSE_COUNT.fetch_sub(1, Ordering::Relaxed);
     }
 
     #[test]
