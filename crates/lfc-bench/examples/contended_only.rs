@@ -1,0 +1,13 @@
+//! Repeated in-process captures of the contended 2-thread move bench.
+//!
+//! The full `reproduce bench` records one median per metric; this bench
+//! is the suite's smallest per-op denominator and bimodal across
+//! *process* runs on the 1-core container (thread placement + layout),
+//! so regressions are judged on the distribution across several runs of
+//! this binary (see EXPERIMENTS.md § PR 9).
+fn main() {
+    for _ in 0..5 {
+        let r = lfc_bench::micro::move_contended();
+        println!("{} median {} ns", r.name, r.median_ns);
+    }
+}

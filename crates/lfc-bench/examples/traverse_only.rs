@@ -1,0 +1,10 @@
+//! One capture of the traversal micro benches per process run.
+//!
+//! Long walks are dominated by allocation/layout luck that is fixed per
+//! process on this container, so A/B comparisons interleave many runs of
+//! this binary and compare medians and minima (EXPERIMENTS.md § PR 9).
+fn main() {
+    for r in lfc_bench::micro::traverse() {
+        println!("{} {}", r.name, r.median_ns);
+    }
+}

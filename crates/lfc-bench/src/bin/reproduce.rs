@@ -150,6 +150,7 @@ fn run_bench_capture(args: &[String]) {
     results.extend(micro::multi());
     results.extend(micro::traverse());
     results.extend(micro::hashmap_scaling());
+    results.extend(micro::skiplist());
 
     // Reclamation diagnostics (PR 6): a post-suite snapshot of the hazard
     // domain, so regressions in garbage accumulation (or an ejection storm
@@ -308,6 +309,7 @@ fn run_throughput_capture(args: &[String]) {
         (TpWorkload::Mixed, Skew::Zipfian),
         (TpWorkload::MoveHeavy, Skew::Uniform),
         (TpWorkload::StackPushPop, Skew::Uniform),
+        (TpWorkload::SkipMix, Skew::Zipfian),
     ];
     // Interleave baseline/adaptive trials and keep each mode's median-
     // throughput trial: back-to-back single runs on a shared box otherwise

@@ -8,7 +8,7 @@ use lfc_core::{move_one, move_to_all, swap, MoveOutcome, SwapOutcome};
 use lfc_dcas::{DAtomic, DcasResult, DescHandle};
 use lfc_hazard::pin;
 use lfc_structures::{
-    LfHashMap, MsQueue, OrderedSet, PlainMsQueue, PlainTreiberStack, TreiberStack,
+    LfHashMap, LfSkipMap, MsQueue, OrderedSet, PlainMsQueue, PlainTreiberStack, TreiberStack,
 };
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -256,6 +256,37 @@ pub fn traverse() -> Vec<Measurement> {
         }));
     }
 
+    out
+}
+
+/// Experiment SKIP (tracked since PR 9): skip-list latencies through the
+/// shared traversal kernel. `skiplist_get` is the logarithmic cousin of
+/// `traverse/list_contains_1024` (same 1024 resident even keys, same
+/// full-height hit + adjacent miss); `skiplist_insert_remove` exercises a
+/// full tower build + freeze + sweep per iteration; `skiplist_range`
+/// clones a 64-key window through the level-0 walk.
+pub fn skiplist() -> Vec<Measurement> {
+    const ITEMS: u64 = 1024;
+    let mut out = Vec::new();
+    let m: LfSkipMap<u64, u64> = LfSkipMap::new();
+    for k in 0..ITEMS {
+        m.insert(k * 2, k);
+    }
+    let hit = (ITEMS - 1) * 2;
+    let miss = hit + 1;
+    out.push(bench("skiplist_get", || {
+        assert!(m.get(black_box(&hit)).is_some());
+        assert!(m.get(black_box(&miss)).is_none());
+    }));
+    let key = ITEMS * 2 + 1; // odd: never resident between iterations
+    out.push(bench("skiplist_insert_remove", || {
+        assert!(m.insert(black_box(key), 1));
+        assert_eq!(m.remove(black_box(&key)), Some(1));
+    }));
+    let (lo, hi) = (900u64, 1028u64); // 64 resident even keys
+    out.push(bench("skiplist_range", || {
+        assert_eq!(m.range(black_box(lo)..black_box(hi)).len(), 64);
+    }));
     out
 }
 

@@ -15,7 +15,10 @@
 //!   maps (the CASN-commit-bound regime the group commit targets);
 //! * `Mixed` — 50 % get, 20 % insert/remove, 30 % move;
 //! * `StackPushPop` — plain push/pop on one hot `TreiberStack` (the
-//!   elimination regime).
+//!   elimination regime);
+//! * `SkipMix` — 40 % `LfSkipMap::get`, 20 % ordered `range` scans, 20 %
+//!   insert/remove, 20 % composed `move_keyed` between two skip maps
+//!   (PR 9: kernel traversals + tower churn + range walks under load).
 //!
 //! Key choice is `Uniform` or `Zipfian` (s ≈ 0.99, YCSB-style) over a
 //! configurable key space; a small space plus Zipf skew concentrates the
@@ -32,7 +35,7 @@ use crate::hist::Hist;
 use crate::json::Json;
 use lfc_core::{move_keyed, BatchGate, MoveKeyedOp, MoveOutcome};
 use lfc_runtime::SmallRng;
-use lfc_structures::{LfHashMap, TreiberStack};
+use lfc_structures::{LfHashMap, LfSkipMap, TreiberStack};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
@@ -48,6 +51,9 @@ pub enum TpWorkload {
     Mixed,
     /// Plain push/pop on one hot Treiber stack.
     StackPushPop,
+    /// Skip-list mix (PR 9): 40 % get, 20 % 64-key `range`, 20 % plain
+    /// insert/remove, 20 % composed moves between two `LfSkipMap`s.
+    SkipMix,
 }
 
 /// Key-pick distribution.
@@ -87,6 +93,7 @@ impl TpCfg {
             TpWorkload::MoveHeavy => "move_heavy",
             TpWorkload::Mixed => "mixed",
             TpWorkload::StackPushPop => "stack_push_pop",
+            TpWorkload::SkipMix => "skip_mix",
         };
         if self.workload == TpWorkload::StackPushPop {
             w.to_string()
@@ -240,6 +247,7 @@ pub fn run_throughput(cfg: &TpCfg) -> TpResult {
 
     let (outs, elapsed_ns, hwm) = match cfg.workload {
         TpWorkload::StackPushPop => run_stack(cfg),
+        TpWorkload::SkipMix => run_skip(cfg),
         _ => run_maps(cfg),
     };
 
@@ -372,7 +380,65 @@ fn run_maps(cfg: &TpCfg) -> (Vec<WorkerOut>, u64, u64) {
                         let _ = do_move(key, fwd);
                     }
                 }
-                TpWorkload::StackPushPop => unreachable!("handled by run_stack"),
+                TpWorkload::StackPushPop | TpWorkload::SkipMix => {
+                    unreachable!("handled by run_stack / run_skip")
+                }
+            }
+            note_op(&mut hist, &mut ops, hwm, t0);
+        }
+        WorkerOut { hist, ops }
+    })
+}
+
+fn run_skip(cfg: &TpCfg) -> (Vec<WorkerOut>, u64, u64) {
+    let a: LfSkipMap<u64, u64> = LfSkipMap::new();
+    let b: LfSkipMap<u64, u64> = LfSkipMap::new();
+    for k in 0..cfg.key_space {
+        a.insert(k, k);
+    }
+    type Skip = LfSkipMap<u64, u64>;
+    let gate: BatchGate<MoveKeyedOp<'_, u64, u64, Skip, Skip>> = BatchGate::new();
+    let keys = KeyPick::new(cfg.skew, cfg.key_space);
+    // Range windows stay well inside the key space so every scan walks
+    // real chain (empty windows would measure nothing).
+    let window = (cfg.key_space / 16).max(4);
+    let adaptive = cfg.adaptive;
+    let seed = cfg.seed;
+
+    drive(cfg.threads, cfg.duration_ms, |t, stop, hwm| {
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut hist = Hist::new();
+        let mut ops = 0u64;
+        let do_move = |key: u64, fwd: bool| -> MoveOutcome {
+            let (src, dst) = if fwd { (&a, &b) } else { (&b, &a) };
+            if adaptive {
+                lfc_core::batch::decode_move(gate.submit(MoveKeyedOp::new(src, key, dst)))
+            } else {
+                move_keyed(src, &key, dst)
+            }
+        };
+        while !stop.load(Ordering::Acquire) {
+            let key = keys.pick(&mut rng);
+            let roll = rng.below(100);
+            let fwd = rng.next_u64() & 1 == 0;
+            let t0 = Instant::now();
+            if roll < 40 {
+                let m = if fwd { &a } else { &b };
+                let _ = m.get(&key);
+            } else if roll < 60 {
+                let m = if fwd { &a } else { &b };
+                let lo = key.saturating_sub(window / 2);
+                let _ = m.range(lo..lo + window);
+            } else if roll < 80 {
+                let m = if fwd { &a } else { &b };
+                if roll & 1 == 0 {
+                    let _ = m.insert(key, key);
+                } else {
+                    let _ = m.remove(&key);
+                }
+            } else {
+                let _ = do_move(key, fwd);
             }
             note_op(&mut hist, &mut ops, hwm, t0);
         }
@@ -438,6 +504,7 @@ mod tests {
             TpWorkload::MoveHeavy,
             TpWorkload::Mixed,
             TpWorkload::StackPushPop,
+            TpWorkload::SkipMix,
         ] {
             for adaptive in [false, true] {
                 // Retried: on an oversubscribed test runner (2 harness

@@ -610,10 +610,13 @@ struct BatchNode<R> {
     req: R,
 }
 
-fn try_alloc_batch_node<R: BatchOp>(req: R) -> Result<*mut BatchNode<R>, lfc_alloc::AllocError> {
+fn try_alloc_batch_node<R: BatchOp>(
+    req: R,
+    fg: lfc_runtime::fault::FaultGate,
+) -> Result<*mut BatchNode<R>, lfc_alloc::AllocError> {
     // Site check ahead of the allocator so injection reaches this path
     // independently of `"alloc.block"`.
-    if lfc_runtime::fault::check("batch.node") {
+    if fg.check("batch.node") {
         return Err(lfc_alloc::AllocError);
     }
     let p = lfc_alloc::try_alloc_block(Layout::new::<BatchNode<R>>())?.cast::<BatchNode<R>>();
@@ -838,7 +841,10 @@ impl<R: BatchOp> BatchGate<R> {
 
     fn submit_batched(&self, req: R) -> Word {
         counters::note_batched();
-        let node = match try_alloc_batch_node(req) {
+        // One armed-generation load covers this submit's fault sites
+        // (`batch.node` here, `batch.submitted` after publication).
+        let fg = lfc_runtime::fault::gate();
+        let node = match try_alloc_batch_node(req, fg) {
             Ok(n) => n,
             Err(_) => {
                 // No memory for a request node: degrade to direct execution
@@ -885,7 +891,7 @@ impl<R: BatchOp> BatchGate<R> {
                 // a submitter's death here leaves a request the *gate
                 // traffic itself* completes — the corpse's CLAIM hazard
                 // keeps the node alive until adoption clears its bank.
-                lfc_runtime::fault::check_kill("batch.submitted");
+                fg.check_kill("batch.submitted");
                 let result = self.await_done(&g, node, h == 0);
                 g.clear(slot::CLAIM);
                 return result;

@@ -479,7 +479,7 @@ pub(crate) fn move_verdict<T>(eng: &Engine, outcome: RemoveOutcome<T>) -> MoveOu
 /// Shared epilogue of every composition entry point: release protections,
 /// then surface either the allocation failure (fallible engines) or the
 /// mapped verdict.
-fn conclude<T>(mut eng: Engine, outcome: RemoveOutcome<T>) -> Result<MoveOutcome, AllocError> {
+fn conclude<T>(eng: &mut Engine, outcome: RemoveOutcome<T>) -> Result<MoveOutcome, AllocError> {
     eng.finish();
     if eng.oom() {
         return Err(AllocError);
@@ -508,7 +508,7 @@ where
         idx: 0,
         cont: |eng: &mut Engine, elem: &T| run_insert(eng, 1, dst, elem.clone(), Engine::commit),
     });
-    conclude(eng, outcome)
+    conclude(&mut eng, outcome)
 }
 
 /// `move_keyed` over the engine.
@@ -539,7 +539,7 @@ where
             },
         },
     );
-    conclude(eng, outcome)
+    conclude(&mut eng, outcome)
 }
 
 /// Fan `elem` into every target from stage `idx` on, committing innermost.
@@ -583,7 +583,7 @@ where
         idx: 0,
         cont: |eng: &mut Engine, elem: &T| fan_out(eng, 1, dsts, elem),
     });
-    conclude(eng, outcome)
+    conclude(&mut eng, outcome)
 }
 
 pub(crate) fn fan_out_keyed<K, T, D>(
@@ -680,7 +680,7 @@ where
             cont: |eng: &mut Engine, elem: &T| fan_out_keyed(eng, 1, dsts, key, elem),
         },
     );
-    conclude(eng, outcome)
+    conclude(&mut eng, outcome)
 }
 
 /// Atomically move the element stored under `key` in a *keyed* source into
@@ -1027,7 +1027,7 @@ where
             idx: 0,
             cont: |eng: &mut Engine, elem: &T| self.chain.run_chain(eng, 1, elem),
         });
-        conclude(eng, outcome)
+        conclude(&mut eng, outcome)
     }
 }
 
@@ -1070,6 +1070,6 @@ where
                 cont: |eng: &mut Engine, elem: &T| self.chain.run_chain(eng, 1, elem),
             },
         );
-        conclude(eng, outcome)
+        conclude(&mut eng, outcome)
     }
 }

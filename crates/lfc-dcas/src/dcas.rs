@@ -330,10 +330,13 @@ impl DescHandle {
         // complete this DCAS on our behalf if we die
         // (`crate::adopt_dead_threads`). The kill site models exactly that
         // death.
+        // One armed-generation load covers every kill site this commit
+        // passes (announce, publish, and any helping it triggers).
+        let fg = lfc_runtime::fault::gate();
         crate::adopt::announce(g.tid(), word::dcas_plain(addr));
-        lfc_runtime::fault::check_kill("dcas.announced");
-        // Safety: we own the descriptor; `dcas_run` publishes it.
-        let result = unsafe { dcas_run(word::dcas_plain(addr), true, g) };
+        fg.check_kill("dcas.announced");
+        // Safety: we own the descriptor; `dcas_run_gated` publishes it.
+        let result = unsafe { dcas_run_gated(word::dcas_plain(addr), true, g, fg) };
         crate::adopt::clear_announce(g.tid());
         match result {
             DcasResult::FirstFailed => {
@@ -383,11 +386,13 @@ impl DescHandle {
             "engine entries are pairwise distinct"
         );
 
-        // Announce for adoption (see `commit`), then publish.
+        // Announce for adoption (see `commit`), then publish. One
+        // armed-generation load gates every kill site of this commit.
+        let fg = lfc_runtime::fault::gate();
         crate::adopt::announce(g.tid(), word::dcas_plain(addr));
-        lfc_runtime::fault::check_kill("dcas.announced");
-        // Safety: we own the descriptor; `dcas_run` publishes it.
-        let result = unsafe { dcas_run(word::dcas_plain(addr), true, g) };
+        fg.check_kill("dcas.announced");
+        // Safety: we own the descriptor; `dcas_run_gated` publishes it.
+        let result = unsafe { dcas_run_gated(word::dcas_plain(addr), true, g, fg) };
         crate::adopt::clear_announce(g.tid());
         if let DcasResult::FirstFailed = result {
             // Announcement failed: never published, so Drop recycles the
@@ -498,11 +503,13 @@ pub mod counters {
 pub(crate) unsafe fn help(desc_word: Word, g: &Guard) {
     // Kill site at the helping boundary: a helper that dies here has
     // published nothing yet — its only obligation (the DESC hazard) stays
-    // protected by its corpse bank until adoption.
-    lfc_runtime::fault::check_kill("dcas.help");
+    // protected by its corpse bank until adoption. One armed-generation
+    // load gates this and the nested `dcas.published` site.
+    let fg = lfc_runtime::fault::gate();
+    fg.check_kill("dcas.help");
     counters::HELP_RUNS.fetch_add(1, Ordering::Relaxed);
     // Safety: forwarded contract.
-    let _ = unsafe { dcas_run(desc_word, false, g) };
+    let _ = unsafe { dcas_run_gated(desc_word, false, g, fg) };
 }
 
 /// Whether `plain`'s descriptor is currently installed at its first word
@@ -547,6 +554,23 @@ fn decode(res: usize) -> DcasResult {
 /// hazard for helpers. Helpers must additionally have validated that the
 /// word they came through still held `desc_word` after protecting it.
 pub unsafe fn dcas_run(desc_word: Word, initiator: bool, g: &Guard) -> DcasResult {
+    // Safety: forwarded contract.
+    unsafe { dcas_run_gated(desc_word, initiator, g, lfc_runtime::fault::gate()) }
+}
+
+/// [`dcas_run`] with the caller's [`lfc_runtime::fault::FaultGate`]
+/// snapshot, so a commit pays for the armed-generation load exactly once
+/// across all its kill sites.
+///
+/// # Safety
+///
+/// As [`dcas_run`].
+pub(crate) unsafe fn dcas_run_gated(
+    desc_word: Word,
+    initiator: bool,
+    g: &Guard,
+    fg: lfc_runtime::fault::FaultGate,
+) -> DcasResult {
     let addr = word::desc_addr(desc_word);
     // Safety: per the function contract the descriptor is alive.
     let desc = unsafe { &*(addr as *const DcasDesc) };
@@ -562,7 +586,7 @@ pub unsafe fn dcas_run(desc_word: Word, initiator: bool, g: &Guard) -> DcasResul
         g.set(slot::HELP1, desc.hp1);
         g.set(slot::HELP2, desc.hp2);
     }
-    let result = dcas_body(desc, desc_word, initiator, g);
+    let result = dcas_body(desc, desc_word, initiator, g, fg);
     if !initiator {
         g.clear(slot::HELP1);
         g.clear(slot::HELP2);
@@ -570,7 +594,13 @@ pub unsafe fn dcas_run(desc_word: Word, initiator: bool, g: &Guard) -> DcasResul
     result
 }
 
-fn dcas_body(desc: &DcasDesc, desc_word: Word, initiator: bool, g: &Guard) -> DcasResult {
+fn dcas_body(
+    desc: &DcasDesc,
+    desc_word: Word,
+    initiator: bool,
+    g: &Guard,
+    fg: lfc_runtime::fault::FaultGate,
+) -> DcasResult {
     let addr = word::desc_addr(desc_word);
     let plain = word::dcas_plain(addr);
     // Safety: target words' allocations are protected per `dcas_run`'s
@@ -601,7 +631,7 @@ fn dcas_body(desc: &DcasDesc, desc_word: Word, initiator: bool, g: &Guard) -> Dc
         // Kill site: the initiator dies with the descriptor installed at
         // `*ptr1` and the second word untouched — the worst-case torn
         // state. Survivors complete it via `read`-helping or adoption.
-        lfc_runtime::fault::check_kill("dcas.published");
+        fg.check_kill("dcas.published");
     }
 
     // D13–D14: try to install our marked descriptor at the second word.

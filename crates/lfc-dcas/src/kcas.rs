@@ -321,8 +321,10 @@ impl CasnHandle {
         // Publish for dead-thread adopters before the descriptor can reach
         // any shared word; cleared only after the operation is decided, so
         // an abandonment anywhere inside leaves the slot set (crate::adopt).
+        // One armed-generation load for the commit's kill sites.
+        let fg = lfc_runtime::fault::gate();
         crate::adopt::announce(g.tid(), cw);
-        lfc_runtime::fault::check_kill("kcas.announced");
+        fg.check_kill("kcas.announced");
         let out = casn_execute(d, cw, g, true);
         crate::adopt::clear_announce(g.tid());
         self.retire();

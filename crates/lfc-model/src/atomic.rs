@@ -95,6 +95,17 @@ impl AtomicUsize {
         }
     }
 
+    /// As [`std::sync::atomic::AtomicUsize::fetch_or`].
+    #[inline]
+    pub fn fetch_or(&self, v: usize, ord: Ordering) -> usize {
+        match sched::rmw(self.addr(), ord, &|p| p | v, &self.seed(), &|x| {
+            self.inner.store(x, Ordering::SeqCst)
+        }) {
+            Some(prev) => prev,
+            None => self.inner.fetch_or(v, ord),
+        }
+    }
+
     /// As [`std::sync::atomic::AtomicUsize::fetch_max`].
     #[inline]
     pub fn fetch_max(&self, v: usize, ord: Ordering) -> usize {

@@ -831,3 +831,137 @@ fn fuzz_eliminating_stack_pairs() {
         None::<fn(&MsQueue<u32>, &TreiberStack<u32>) -> PairOp>,
     );
 }
+
+#[test]
+fn fuzz_keyed_skip_map_moves() {
+    // Composed keyed moves routed through a pair of skip maps under the
+    // model scheduler: every insert/remove lands on the level-0 chain
+    // (the only linearization subject) while tower builds, tower freezes
+    // and express-lane unlinks race in the same interleavings. The keyed
+    // pair spec must hold on every schedule — a tower CAS that decided an
+    // outcome, resurrected a removed key or tore a composed capture would
+    // surface as a non-linearizable history.
+    #[derive(Clone, Copy, Debug)]
+    enum SkipOp {
+        InsA(u32),
+        InsB(u32),
+        RemA(u32),
+        RemB(u32),
+        MoveAB(u32),
+        MoveBA(u32),
+    }
+
+    fn mv_result(o: MoveOutcome) -> KeyedMoveResult {
+        match o {
+            MoveOutcome::Moved => KeyedMoveResult::Moved,
+            MoveOutcome::SourceEmpty => KeyedMoveResult::Absent,
+            MoveOutcome::TargetRejected => KeyedMoveResult::Duplicate,
+            MoveOutcome::WouldAlias => unreachable!("distinct containers"),
+        }
+    }
+
+    use lfc_structures::LfSkipMap;
+
+    let (seeds, execs, base) = budget();
+    for w in 0..seeds {
+        let mut rng = SmallRng::seed_from_u64(base.wrapping_add(w).wrapping_mul(0x5C1F5));
+        // Tiny key space so the same level-0 nodes are inserted, removed,
+        // tower-linked and re-inserted across interleavings.
+        let plans: Vec<Vec<SkipOp>> = (0..2)
+            .map(|_| {
+                (0..5)
+                    .map(|_| {
+                        let k = rng.below(3) as u32;
+                        match rng.below(6) {
+                            0 => SkipOp::InsA(k),
+                            1 => SkipOp::InsB(k),
+                            2 => SkipOp::RemA(k),
+                            3 => SkipOp::RemB(k),
+                            4 => SkipOp::MoveAB(k),
+                            _ => SkipOp::MoveBA(k),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let plans = Arc::new(plans);
+        let report = explore_random(
+            FuzzOpts {
+                seed: base ^ (0x5C0 + w),
+                executions: execs,
+                step_budget: 200_000,
+                memory: MemoryMode::Interleaving,
+            },
+            {
+                let plans = plans.clone();
+                move || {
+                    let a = Arc::new(LfSkipMap::<u32, u32>::new());
+                    let b = Arc::new(LfSkipMap::<u32, u32>::new());
+                    let rec = Arc::new(Recorder::<KeyedPairOp>::new());
+                    let handles: Vec<_> = plans
+                        .iter()
+                        .cloned()
+                        .map(|ops| {
+                            let (a, b, rec) = (a.clone(), b.clone(), rec.clone());
+                            lfc_model::thread::spawn(move || {
+                                for op in ops {
+                                    match op {
+                                        SkipOp::InsA(k) => {
+                                            rec.record(|| KeyedPairOp::InsA(k, a.insert(k, k)));
+                                        }
+                                        SkipOp::InsB(k) => {
+                                            rec.record(|| KeyedPairOp::InsB(k, b.insert(k, k)));
+                                        }
+                                        SkipOp::RemA(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::RemA(k, a.remove(&k).is_some())
+                                            });
+                                        }
+                                        SkipOp::RemB(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::RemB(k, b.remove(&k).is_some())
+                                            });
+                                        }
+                                        SkipOp::MoveAB(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::MoveAB(
+                                                    k,
+                                                    mv_result(move_keyed(&*a, &k, &*b)),
+                                                )
+                                            });
+                                        }
+                                        SkipOp::MoveBA(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::MoveBA(
+                                                    k,
+                                                    mv_result(move_keyed(&*b, &k, &*a)),
+                                                )
+                                            });
+                                        }
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join();
+                    }
+                    let rec =
+                        Arc::try_unwrap(rec).unwrap_or_else(|_| panic!("sole recorder owner"));
+                    let h = rec.finish();
+                    let verdict = check_linearizable(&KeyedPairSpec, &h);
+                    assert!(
+                        verdict.is_linearizable(),
+                        "non-linearizable keyed skip-map history:\n{}",
+                        render_history(&h)
+                    );
+                }
+            },
+        );
+        if let Some(f) = &report.failure {
+            panic!(
+                "fuzz family keyed skip-map moves, workload {w} (re-run with LFC_FUZZ_SEED={base}): {f}"
+            );
+        }
+    }
+}

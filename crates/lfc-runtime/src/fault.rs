@@ -18,8 +18,10 @@
 //!
 //! # Zero cost when disarmed
 //!
-//! Every site begins with one `Relaxed` load of a process-global state
-//! byte and a predictable branch; no site is ever evaluated, no lock
+//! Every site begins with one `Relaxed` load of the process-global
+//! armed-generation word and a predictable branch — and commit paths that
+//! pass several sites hoist even that into a single [`gate`] snapshot
+//! threaded through as a [`FaultGate`]; no site is ever evaluated, no lock
 //! taken, no counter bumped. Arming happens programmatically
 //! ([`arm_site`] / [`arm_all`] / [`arm_script`]) or through the
 //! `LFC_FAULTS` environment variable, read lazily on the first check:
@@ -62,21 +64,32 @@ use crate::rng::SmallRng;
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 // ---------------------------------------------------------------------------
 // Arming state + schedules
 // ---------------------------------------------------------------------------
 
-const ST_UNKNOWN: u8 = 0; // env not consulted yet
-const ST_DISARMED: u8 = 1;
-const ST_ARMED: u8 = 2;
+/// `ARMED_GEN` value meaning "`LFC_FAULTS` not consulted yet".
+const GEN_UNKNOWN: usize = usize::MAX;
+/// `ARMED_GEN` value meaning "no schedule armed anywhere".
+const GEN_DISARMED: usize = 0;
 
-/// Process-global arming state. Plain `std` atomic on purpose: fault
+/// Process-global arming state: the **armed-generation word**. Holds
+/// [`GEN_UNKNOWN`] until the environment is consulted, [`GEN_DISARMED`]
+/// while nothing is armed, and a fresh nonzero generation (bumped by every
+/// `arm_*` call) while any schedule is live. A single Relaxed load of this
+/// one word classifies the process, so hot paths that used to pay one load
+/// per fault site now snapshot it once per commit as a [`FaultGate`] and
+/// test a register bool at each site. Plain `std` atomic on purpose: fault
 /// bookkeeping is harness infrastructure, not protocol state — it must not
 /// create model-checker choice points.
-static STATE: AtomicU8 = AtomicU8::new(ST_UNKNOWN);
+static ARMED_GEN: AtomicUsize = AtomicUsize::new(GEN_UNKNOWN);
+
+/// Monotonic generation source for [`ARMED_GEN`]; starts at 1 so an armed
+/// generation can never collide with [`GEN_DISARMED`].
+static NEXT_GEN: AtomicUsize = AtomicUsize::new(1);
 
 /// When a site should fire.
 #[derive(Debug, Clone)]
@@ -177,18 +190,59 @@ fn is_shielded() -> bool {
     SHIELDED.try_with(|c| c.get()).unwrap_or(true)
 }
 
+/// A one-word snapshot of the process arming state, taken with [`gate`].
+///
+/// Commit paths that pass several fault sites (a composed move pays
+/// `dcas.announced`, `dcas.published`, possibly `dcas.help`, plus the
+/// allocation sites of the stages) load the armed-generation word **once**
+/// and thread this `Copy` token through; each per-site check then costs a
+/// register test instead of a shared load. Semantics: a schedule armed
+/// *after* the snapshot is not seen until the next `gate()` (harnesses arm
+/// before launching victims, so no armed fire is ever missed in practice);
+/// while armed, every site still evaluates its own schedule in
+/// `check_slow`, so per-site firing is unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultGate {
+    armed: bool,
+}
+
+impl FaultGate {
+    /// Site check against this snapshot; see [`check`].
+    #[inline]
+    pub fn check(self, site: &'static str) -> bool {
+        self.armed && check_slow(site)
+    }
+
+    /// Kill-site check against this snapshot; see [`check_kill`].
+    #[inline]
+    pub fn check_kill(self, site: &'static str) {
+        if self.armed && check_slow(site) {
+            abandon();
+        }
+    }
+}
+
+/// Snapshot the armed-generation word (one `Relaxed` load) into a
+/// [`FaultGate`] for a run of site checks.
+#[inline]
+pub fn gate() -> FaultGate {
+    let armed = match ARMED_GEN.load(Ordering::Relaxed) {
+        GEN_DISARMED => false,
+        GEN_UNKNOWN => {
+            init_from_env();
+            ARMED_GEN.load(Ordering::Relaxed) != GEN_DISARMED
+        }
+        _ => true,
+    };
+    FaultGate { armed }
+}
+
 /// Check a named fault site. Returns `true` when the armed schedule says
-/// this check fails. The disarmed fast path is a single `Relaxed` load.
+/// this check fails. The disarmed fast path is a single `Relaxed` load of
+/// the armed-generation word.
 #[inline]
 pub fn check(site: &'static str) -> bool {
-    match STATE.load(Ordering::Relaxed) {
-        ST_DISARMED => false,
-        ST_UNKNOWN => {
-            init_from_env();
-            check(site)
-        }
-        _ => check_slow(site),
-    }
+    gate().check(site)
 }
 
 #[cold]
@@ -247,7 +301,9 @@ fn check_slow(site: &'static str) -> bool {
 }
 
 fn mark_armed() {
-    STATE.store(ST_ARMED, Ordering::Release);
+    // A fresh generation per arm: gates snapshotted before this store stay
+    // disarmed for their in-flight commit; everything after sees armed.
+    ARMED_GEN.store(NEXT_GEN.fetch_add(1, Ordering::Relaxed), Ordering::Release);
     // Under the model checker the kill payload is recognized by
     // `lfc-model`'s thread wrapper, which must know how to finish the
     // abandonment while the dead thread is still scheduled.
@@ -290,7 +346,7 @@ pub fn arm_script(sites: &[&str]) {
 /// Disarm everything and clear all schedules, scripts and counters.
 pub fn disarm() {
     *lock_registry() = None;
-    STATE.store(ST_DISARMED, Ordering::Release);
+    ARMED_GEN.store(GEN_DISARMED, Ordering::Release);
 }
 
 /// Per-site `(site, checks, fired)` counters, sorted by site name.
@@ -320,14 +376,14 @@ pub fn fired_total() -> u64 {
 
 fn init_from_env() {
     let mut reg = lock_registry();
-    if STATE.load(Ordering::Relaxed) != ST_UNKNOWN {
+    if ARMED_GEN.load(Ordering::Relaxed) != GEN_UNKNOWN {
         return; // raced with another initializer or an explicit arm
     }
     match std::env::var("LFC_FAULTS") {
         Ok(spec) if !spec.trim().is_empty() => {
             // Merge into the existing registry rather than replacing it: a
             // concurrent `arm_site`/`arm_all` may have inserted its
-            // schedule after our caller loaded `STATE == ST_UNKNOWN` but
+            // schedule after our caller loaded `ARMED_GEN == GEN_UNKNOWN` but
             // before its own `mark_armed` ran; clobbering the registry
             // here would silently discard that programmatic schedule. On a
             // collision the programmatic entry wins (it is the more
@@ -359,7 +415,7 @@ fn init_from_env() {
             drop(reg);
             mark_armed();
         }
-        _ => STATE.store(ST_DISARMED, Ordering::Release),
+        _ => ARMED_GEN.store(GEN_DISARMED, Ordering::Release),
     }
 }
 
@@ -443,7 +499,7 @@ pub fn abandonment_scope<R>(f: impl FnOnce() -> R) -> Option<R> {
 }
 
 /// Corpse registry: tids whose owning thread died mid-operation and whose
-/// id/bank/descriptors await adoption. Plain `std` atomics (see `STATE`).
+/// id/bank/descriptors await adoption. Plain `std` atomics (see `ARMED_GEN`).
 static CORPSE: [AtomicBool; crate::tid::MAX_THREADS] =
     [const { AtomicBool::new(false) }; crate::tid::MAX_THREADS];
 static CORPSE_COUNT: AtomicUsize = AtomicUsize::new(0);

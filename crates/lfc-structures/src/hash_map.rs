@@ -56,6 +56,7 @@
 //! Bucket selection hashes with an FxHash-style mixer over a power-of-two
 //! bucket count (PR 3): one rotate-xor-multiply per key word plus a mask.
 
+use crate::traverse::{self, is_deleted, without_mark, ChainNode, NoRepin, Position, DEL_MARK};
 use crate::sync::{AtomicUsize, Ordering};
 use lfc_core::{
     InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint, NormalCas, RemoveCtx,
@@ -140,18 +141,6 @@ impl Hasher for FxHasher {
     }
 }
 
-/// Logical-deletion mark on raw `next` words (kind bits are [1:0]).
-const DEL_MARK: usize = 0b100;
-
-#[inline]
-fn is_deleted(w: usize) -> bool {
-    w & DEL_MARK != 0
-}
-
-#[inline]
-fn without_mark(w: usize) -> usize {
-    w & !DEL_MARK
-}
 
 /// The bit forced on before reversal so every data key's split-order key
 /// has LSB 1 (dummies reverse a bucket index `< 2^(BITS-1)`, so theirs is
@@ -363,15 +352,17 @@ unsafe fn reclaim_segment(p: *mut u8) {
     }
 }
 
-/// Where a split-order key belongs in the list: the word to CAS and its
-/// successor.
-struct Position<K, T> {
-    /// Word holding `cur` (the bucket dummy's or a predecessor's `next`).
-    prev_word: *const DAtomic,
-    /// Allocation containing `prev_word` (dummy or data node).
-    prev_hp: usize,
-    /// First node at-or-after the target, or null.
-    cur: *mut SNode<K, T>,
+// Safety: `next` is the marked chain word; unlinked nodes are hazard-retired.
+unsafe impl<K, T> ChainNode for SNode<K, T> {
+    #[inline]
+    fn chain_word(&self) -> &DAtomic {
+        &self.next
+    }
+
+    unsafe fn retire_unlinked(p: *mut Self) {
+        // Safety: forwarded contract.
+        unsafe { retire_snode(p) };
+    }
 }
 
 /// A move-ready lock-free hash map with incremental lock-free resize
@@ -684,72 +675,29 @@ where
         }
     }
 
-    /// Locate `(so, key)` starting from the bucket dummy `start`, unlinking
-    /// logically deleted nodes on the way (Michael's `find`, fence-free
-    /// since PR 3). The caller's operation epoch (`pin_op`) protects every
-    /// node the walk can reach — any node reachable after the epoch's enter
-    /// fence is retired, if at all, at an epoch no scan can free under us —
-    /// so the hops are plain acquire reads with no per-node hazard
-    /// publication or validation re-read.
+    /// Locate `(so, key)` starting from the bucket dummy `start`, via the
+    /// shared traversal kernel ([`crate::traverse::find_pos`]). `start` is
+    /// a dummy — reachable for the map's whole lifetime (dummies are
+    /// unlinked only at `Drop`) and never logically deleted — so the same
+    /// anchor stays sound across restarts and the walk runs under a plain
+    /// [`Guard`] ([`NoRepin`]: no ejection-repin point needed).
     fn find_from(
         &self,
         start: *mut SNode<K, T>,
         so: usize,
         key: Option<&K>,
         g: &Guard,
-    ) -> Position<K, T> {
-        'retry: loop {
-            // Safety: `start` is a dummy — reachable for the map's whole
-            // lifetime (dummies are unlinked only at Drop) and never
-            // logically deleted, so restarting here is always sound.
-            let mut prev_word: *const DAtomic = unsafe { &(*start).next };
-            let mut prev_hp = start as usize;
-            loop {
-                // Safety: prev allocation is epoch-protected.
-                let cur = unsafe { &*prev_word }.read_acquire(g);
-                if is_deleted(cur) {
-                    // The predecessor was logically deleted under us (its
-                    // own `next` carries the mark): its link is frozen and
-                    // no longer part of the live chain — restart from the
-                    // bucket dummy (Michael's find re-checks the mark on
-                    // every hop; dummies themselves are never marked).
-                    continue 'retry;
-                }
-                if cur == 0 {
-                    return Position {
-                        prev_word,
-                        prev_hp,
-                        cur: std::ptr::null_mut(),
-                    };
-                }
-                let cur_node = cur as *mut SNode<K, T>;
-                // Safety: cur was reachable through the live chain inside
-                // this epoch, so its allocation cannot be reclaimed yet
-                // even if it is unlinked concurrently.
-                let next_w = unsafe { &(*cur_node).next }.read_acquire(g);
-                if is_deleted(next_w) {
-                    // Logically deleted: unlink (cleanup helping) and retry.
-                    // A stale prev word makes the CAS fail harmlessly.
-                    if unsafe { &*prev_word }.cas_word(cur, without_mark(next_w)) {
-                        // Safety: we unlinked it.
-                        unsafe { retire_snode(cur_node) };
-                    }
-                    continue 'retry;
-                }
-                // Safety: cur epoch-protected; so_key/key are immutable.
-                let (cur_so, cur_key) = unsafe { ((*cur_node).so_key, (*cur_node).key.as_ref()) };
-                if Self::at_or_after(cur_so, cur_key, so, key) {
-                    return Position {
-                        prev_word,
-                        prev_hp,
-                        cur: cur_node,
-                    };
-                }
-                // Advance: cur becomes the new predecessor.
-                prev_word = unsafe { &(*cur_node).next };
-                prev_hp = cur;
-            }
-        }
+    ) -> Position<SNode<K, T>> {
+        // Safety: start is epoch-protected (a live dummy).
+        let anchor = |_: &Guard| (unsafe { &(*start).next } as *const DAtomic, start as usize);
+        // Safety: cur epoch-protected; so_key/key are immutable.
+        let at_or_after = |cur: *mut SNode<K, T>| {
+            let (cur_so, cur_key) = unsafe { ((*cur).so_key, (*cur).key.as_ref()) };
+            Self::at_or_after(cur_so, cur_key, so, key)
+        };
+        // Safety: anchor contract per above; nodes are SNodes by
+        // construction.
+        unsafe { traverse::find_pos(&mut NoRepin(g), anchor, at_or_after) }
     }
 
     /// Growth heuristic after a successful insert: double the bucket count
@@ -989,7 +937,7 @@ where
                 word: unsafe { &*pos.prev_word },
                 old: pos.cur as usize,
                 new: node as usize,
-                hp: pos.prev_hp,
+                hp: pos.prev_alloc,
             });
             match r {
                 ScasResult::Success => {
@@ -1046,8 +994,8 @@ where
             // invariant).
             debug_assert!(unsafe { (*cur).key.is_some() });
             // Safety: cur epoch-protected.
-            let next_w = unsafe { &(*cur).next }.read(&g);
-            if is_deleted(next_w) {
+            let succ_w = unsafe { &(*cur).next }.read(&g);
+            if is_deleted(succ_w) {
                 continue; // someone else is removing it; re-find
             }
             // Element accessible before the linearization point (req. 4).
@@ -1062,8 +1010,8 @@ where
                     // Safety: cur epoch-protected; composed captures promote
                     // `hp` into an ENTRY hazard slot before the commit.
                     word: unsafe { &(*cur).next },
-                    old: next_w,
-                    new: next_w | DEL_MARK,
+                    old: succ_w,
+                    new: succ_w | DEL_MARK,
                     hp: cur as usize,
                 },
                 &val,
@@ -1074,7 +1022,7 @@ where
                     self.hdr().items.fetch_sub(1, Ordering::Relaxed);
                     // Cleanup: try to unlink physically; a traversal will
                     // otherwise do it later.
-                    if unsafe { &*pos.prev_word }.cas_word(cur as usize, next_w) {
+                    if unsafe { &*pos.prev_word }.cas_word(cur as usize, succ_w) {
                         // Safety: unlinked.
                         unsafe { retire_snode(cur) };
                     }

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 mod node;
+pub(crate) mod traverse;
 
 #[doc(hidden)]
 pub mod sync;
@@ -26,6 +27,7 @@ pub mod ms_queue;
 pub mod one_slot;
 pub mod ordered_list;
 pub mod plain;
+pub mod skip_map;
 pub mod stamped;
 pub mod treiber;
 
@@ -35,6 +37,7 @@ pub use ms_queue::MsQueue;
 pub use one_slot::OneSlot;
 pub use ordered_list::OrderedSet;
 pub use plain::{PlainMsQueue, PlainTreiberStack};
+pub use skip_map::LfSkipMap;
 pub use stamped::StampedStack;
 pub use treiber::TreiberStack;
 

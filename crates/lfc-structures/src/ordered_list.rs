@@ -18,28 +18,16 @@
 //! performed by the remover or by any later traversal.
 
 use crate::node::{alloc_solo_header, retire_solo_header, SoloHeader};
+use crate::traverse::{self, is_deleted, without_mark, ChainNode, Position, DEL_MARK};
 use lfc_core::{
     InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint, NormalCas, RemoveCtx,
     RemoveOutcome, ScasResult,
 };
 use lfc_dcas::DAtomic;
-use lfc_hazard::{pin, pin_op, OpGuard};
+use lfc_hazard::{pin, pin_op, Guard, OpGuard};
 use std::alloc::Layout;
 use std::cell::UnsafeCell;
 use std::ptr::NonNull;
-
-/// Logical-deletion mark on raw `next` words (kind bits are [1:0]).
-const DEL_MARK: usize = 0b100;
-
-#[inline]
-fn is_deleted(w: usize) -> bool {
-    w & DEL_MARK != 0
-}
-
-#[inline]
-fn without_mark(w: usize) -> usize {
-    w & !DEL_MARK
-}
 
 struct LNode<K, T> {
     next: DAtomic,
@@ -105,6 +93,19 @@ unsafe fn free_unpublished_lnode<K, T>(p: *mut LNode<K, T>) {
     unsafe { reclaim_lnode::<K, T>(p as *mut u8) };
 }
 
+// Safety: `next` is the marked chain word; unlinked nodes are hazard-retired.
+unsafe impl<K, T> ChainNode for LNode<K, T> {
+    #[inline]
+    fn chain_word(&self) -> &DAtomic {
+        &self.next
+    }
+
+    unsafe fn retire_unlinked(p: *mut Self) {
+        // Safety: forwarded contract.
+        unsafe { retire_lnode(p) };
+    }
+}
+
 /// A move-ready lock-free sorted set with unique keys.
 pub struct OrderedSet<K, T>
 where
@@ -129,16 +130,6 @@ where
 {
 }
 
-/// Where a key belongs in the list: the word to CAS and its successor.
-struct Position<K, T> {
-    /// Word holding `cur` (the head word or a predecessor's `next`).
-    prev_word: *const DAtomic,
-    /// Allocation containing `prev_word` (header or predecessor node).
-    prev_hp: usize,
-    /// First node with `node.key >= key`, or null.
-    cur: *mut LNode<K, T>,
-}
-
 impl<K, T> OrderedSet<K, T>
 where
     K: Ord + Clone + Send + Sync + 'static,
@@ -158,64 +149,17 @@ where
         &unsafe { self.header.as_ref() }.word
     }
 
-    /// Locate `key`, unlinking logically deleted nodes on the way
-    /// (Michael's `find`, fence-free since PR 3). The caller's operation
-    /// epoch (`pin_op`) protects every node the walk can reach — any node
-    /// reachable after the epoch's enter fence is retired, if at all, at an
-    /// epoch no scan can free under us — so the hops are plain acquire
-    /// reads with no per-node hazard publication or validation re-read.
-    fn find(&self, key: &K, g: &mut OpGuard) -> Position<K, T> {
-        'retry: loop {
-            // Ejection check (PR 6): the restart point holds no pointers,
-            // so acknowledging here is free — the walk below re-derives
-            // everything from the head under the fresh era.
-            g.repin_if_ejected();
-            let mut prev_word: *const DAtomic = self.head();
-            let mut prev_hp = self.header.as_ptr() as usize;
-            loop {
-                // Safety: prev allocation is epoch-protected (header: owned).
-                let cur = unsafe { &*prev_word }.read_acquire(g);
-                if is_deleted(cur) {
-                    // The predecessor was logically deleted under us (its
-                    // own `next` carries the mark): its link is frozen and
-                    // no longer part of the live chain — restart (Michael's
-                    // find re-checks the mark on every hop).
-                    continue 'retry;
-                }
-                if cur == 0 {
-                    return Position {
-                        prev_word,
-                        prev_hp,
-                        cur: std::ptr::null_mut(),
-                    };
-                }
-                let cur_node = cur as *mut LNode<K, T>;
-                // Safety: cur was reachable through the live chain inside
-                // this epoch, so its allocation cannot be reclaimed yet
-                // even if it is unlinked concurrently.
-                let next_w = unsafe { &(*cur_node).next }.read_acquire(g);
-                if is_deleted(next_w) {
-                    // Logically deleted: unlink (cleanup helping) and retry.
-                    // A stale prev word makes the CAS fail harmlessly.
-                    if unsafe { &*prev_word }.cas_word(cur, without_mark(next_w)) {
-                        // Safety: we unlinked it.
-                        unsafe { retire_lnode(cur_node) };
-                    }
-                    continue 'retry;
-                }
-                // Safety: cur epoch-protected; keys are immutable.
-                if unsafe { &(*cur_node).key } >= key {
-                    return Position {
-                        prev_word,
-                        prev_hp,
-                        cur: cur_node,
-                    };
-                }
-                // Advance: cur becomes the new predecessor.
-                prev_word = unsafe { &(*cur_node).next };
-                prev_hp = cur;
-            }
-        }
+    /// Locate `key` via the shared traversal kernel
+    /// ([`crate::traverse::find_pos`]): anchored at the list head, under
+    /// the caller's operation epoch (`pin_op` — the repin restart point
+    /// lives inside the kernel), ordered by `node.key >= key`.
+    fn find(&self, key: &K, g: &mut OpGuard) -> Position<LNode<K, T>> {
+        let anchor = |_: &Guard| (self.head() as *const DAtomic, self.header.as_ptr() as usize);
+        // Safety: cur epoch-protected; keys are immutable.
+        let at_or_after = |cur: *mut LNode<K, T>| unsafe { &(*cur).key } >= key;
+        // Safety: the head word lives in the owned header (protected by
+        // the `&self` borrow); nodes are LNodes by construction.
+        unsafe { traverse::find_pos(g, anchor, at_or_after) }
     }
 
     /// Insert `val` under `key`; false if the key is already present.
@@ -317,7 +261,7 @@ where
                 word: unsafe { &*pos.prev_word },
                 old: pos.cur as usize,
                 new: node as usize,
-                hp: pos.prev_hp,
+                hp: pos.prev_alloc,
             });
             match r {
                 ScasResult::Success => return InsertOutcome::Inserted,
@@ -349,8 +293,8 @@ where
                 return RemoveOutcome::Empty;
             }
             // Safety: cur epoch-protected.
-            let next_w = unsafe { &(*cur).next }.read(&g);
-            if is_deleted(next_w) {
+            let succ_w = unsafe { &(*cur).next }.read(&g);
+            if is_deleted(succ_w) {
                 continue; // someone else is removing it; re-find
             }
             // Element accessible before the linearization point (req. 4).
@@ -365,8 +309,8 @@ where
                     // Safety: cur epoch-protected; composed captures promote
                     // `hp` into an ENTRY hazard slot before the commit.
                     word: unsafe { &(*cur).next },
-                    old: next_w,
-                    new: next_w | DEL_MARK,
+                    old: succ_w,
+                    new: succ_w | DEL_MARK,
                     hp: cur as usize,
                 },
                 &val,
@@ -375,7 +319,7 @@ where
                 ScasResult::Success => {
                     // Cleanup: try to unlink physically; a traversal will
                     // otherwise do it later.
-                    if unsafe { &*pos.prev_word }.cas_word(cur as usize, next_w) {
+                    if unsafe { &*pos.prev_word }.cas_word(cur as usize, succ_w) {
                         // Safety: unlinked.
                         unsafe { retire_lnode(cur) };
                     }

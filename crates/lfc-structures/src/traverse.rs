@@ -1,0 +1,242 @@
+//! The shared traversal kernel: **one** Michael-style `find` for every
+//! marked-chain structure in this crate.
+//!
+//! [`OrderedSet`](crate::OrderedSet), [`LfHashMap`](crate::LfHashMap) and
+//! the bottom level of [`LfSkipMap`](crate::LfSkipMap) are all the same
+//! data structure at the chain level: nodes threaded through a raw
+//! protocol word whose bit 2 ([`DEL_MARK`]) is the Harris logical-delete
+//! mark, searched by "first node at-or-after the target". Before PR 9
+//! the search loop — with its mark-check, unlink-helping and restart
+//! discipline — was duplicated per structure, and so was the safety
+//! argument below. [`find_pos`] is that loop, written once; the
+//! structures supply only their node layout ([`ChainNode`]), their
+//! restart anchor and their ordering predicate.
+//!
+//! # The traversal (Michael's `find`, fence-free since PR 3)
+//!
+//! The walk holds no per-node hazards. The caller's *operation epoch*
+//! ([`lfc_hazard::pin_op`], one fence at entry) protects every node the
+//! walk can reach: any node reachable after the epoch's enter fence is
+//! retired, if at all, at an epoch no scan can free under us — so the
+//! hops are plain acquire reads with no per-node hazard publication or
+//! validation re-read. This is the **single** statement of the PR 3
+//! fence-free proof; the call sites only assert which guard provides the
+//! epoch.
+//!
+//! Per hop, in order:
+//!
+//! 1. **Predecessor-mark check.** `*prev_word` is re-read; if the mark
+//!    bit is set, the predecessor was logically deleted under us — its
+//!    link is frozen and no longer part of the live chain — and the walk
+//!    restarts from the anchor (Michael's find re-checks the mark on
+//!    every hop).
+//! 2. **Unlink helping.** If `cur`'s own next word carries the mark,
+//!    `cur` is logically deleted: the walk CASes it out of the chain
+//!    (cleanup helping; a stale `prev_word` makes the CAS fail
+//!    harmlessly) and the **winner** of that CAS retires the node via
+//!    [`ChainNode::retire_unlinked`]. This is the only physical-unlink
+//!    site in the crate.
+//! 3. **Ordering predicate.** The first `cur` with `at_or_after(cur)`
+//!    ends the walk; otherwise `cur` becomes the predecessor.
+//!
+//! # Restart anchor
+//!
+//! The anchor is a closure, re-invoked on **every** restart (not hoisted),
+//! because the three structures restart differently:
+//!
+//! * `OrderedSet` restarts at the list head word — the closure is constant.
+//! * `LfHashMap` restarts at a bucket dummy's next word. Dummies are
+//!   unlinked only at `Drop` and never logically deleted, so the same
+//!   dummy stays a sound anchor across restarts; no re-resolution needed,
+//!   and the traversal can run under a plain [`Guard`] (no repin point).
+//! * `LfSkipMap` anchors at the closest level-≥1 predecessor, which *can*
+//!   be logically deleted between restarts; its closure re-runs the
+//!   tower search so every restart re-derives a live anchor.
+//!
+//! # Ejection restart point (PR 6)
+//!
+//! [`TraverseGuard::at_restart`] runs at the top of every retry, where
+//! the walk holds no pointers: for an [`OpGuard`] caller this is
+//! [`OpGuard::repin_if_ejected`] — acknowledging an ejection there is
+//! free because the walk below re-derives everything from the anchor
+//! under the fresh era (which is also why the anchor closure is
+//! re-invoked: pointers obtained under the pre-ejection era are dead).
+//! Plain [`Guard`] callers (bucket-dummy anchored) have no repin point
+//! and use [`NoRepin`].
+//!
+//! # Ordering audit (moved here from the two pre-PR 9 copies)
+//!
+//! | access | ordering | why |
+//! |---|---|---|
+//! | `*prev_word` read | Acquire (`read_acquire`) | pairs with the inserting/unlinking CAS's Release: the successor's fields are visible before its address |
+//! | `cur.next` read | Acquire | same pairing; also carries the logical-delete mark |
+//! | unlink CAS | AcqRel (`cas_word`) | Release republishes the successor chain under the new link; Acquire orders the retire after the frozen link's final value |
+//! | retire | — | winner-only (the CAS arbitrates), under the caller's epoch |
+
+use lfc_dcas::DAtomic;
+use lfc_hazard::{Guard, OpGuard};
+
+/// Logical-deletion mark on raw chain words (descriptor kind bits are
+/// [1:0], so the mark occupies bit 2 of the 8-aligned pointer word).
+pub(crate) const DEL_MARK: usize = 0b100;
+
+/// Whether a raw chain word carries the logical-delete mark.
+#[inline]
+pub(crate) fn is_deleted(w: usize) -> bool {
+    w & DEL_MARK != 0
+}
+
+/// The chain word with the logical-delete mark stripped.
+#[inline]
+pub(crate) fn without_mark(w: usize) -> usize {
+    w & !DEL_MARK
+}
+
+/// A node type whose instances are threaded through a marked chain word.
+///
+/// # Safety
+///
+/// `chain_word` must return the word the chain is threaded through (the
+/// word carrying [`DEL_MARK`] when the node is logically deleted), and
+/// `retire_unlinked` must be safe to call exactly once on a node that has
+/// been physically unlinked from the chain while epoch-protected.
+pub(crate) unsafe trait ChainNode {
+    /// The node's chain ("next") word.
+    fn chain_word(&self) -> &DAtomic;
+
+    /// Hand the physically unlinked node to reclamation.
+    ///
+    /// Called only by the winner of the unlink CAS. For plainly owned
+    /// nodes this is a hazard-retire; [`LfSkipMap`](crate::LfSkipMap)
+    /// nodes instead release the level-0 tower reference here (the node
+    /// retires when the last level lets go).
+    ///
+    /// # Safety
+    ///
+    /// `p` was just unlinked by the caller and is epoch-protected.
+    unsafe fn retire_unlinked(p: *mut Self);
+}
+
+/// Where a key belongs in a chain: the word to CAS and its successor.
+///
+/// `prev_alloc` was called `prev_hp` before PR 9 — a relic of the
+/// pre-PR 3 per-node hazard-pointer scheme. It is *not* a hazard: it is
+/// the base address of the allocation hosting `prev_word` (anchor header,
+/// bucket dummy, or predecessor node), recorded so a composed capture can
+/// promote that allocation into an `ENTRY*` hazard slot at capture time
+/// ([`lfc_core::LinPoint::hp`]).
+pub(crate) struct Position<N> {
+    /// Word holding `cur` (the anchor word or a predecessor's chain word).
+    pub prev_word: *const DAtomic,
+    /// Base of the allocation containing `prev_word` (see type docs).
+    pub prev_alloc: usize,
+    /// First node satisfying the ordering predicate, or null.
+    pub cur: *mut N,
+}
+
+/// The guard a traversal runs under: an epoch source plus an optional
+/// ejection-restart hook.
+pub(crate) trait TraverseGuard {
+    /// Called at the top of every retry, where the walk holds no
+    /// pointers (the PR 6 restart point).
+    fn at_restart(&mut self);
+
+    /// The epoch guard protecting the walk's reads.
+    fn guard(&self) -> &Guard;
+}
+
+impl TraverseGuard for OpGuard {
+    #[inline]
+    fn at_restart(&mut self) {
+        self.repin_if_ejected();
+    }
+
+    #[inline]
+    fn guard(&self) -> &Guard {
+        self
+    }
+}
+
+/// [`TraverseGuard`] for walks anchored at a structure whose anchor can
+/// never be logically deleted (bucket dummies): restarting needs no
+/// repin, so a plain borrowed [`Guard`] suffices.
+pub(crate) struct NoRepin<'g>(pub &'g Guard);
+
+impl TraverseGuard for NoRepin<'_> {
+    #[inline]
+    fn at_restart(&mut self) {}
+
+    #[inline]
+    fn guard(&self) -> &Guard {
+        self.0
+    }
+}
+
+/// Locate the first node satisfying `at_or_after`, unlinking logically
+/// deleted nodes on the way. See the module docs for the full protocol
+/// and safety argument.
+///
+/// `anchor` returns the restart anchor — the word to start from and the
+/// base address of its allocation — and is re-invoked on every restart.
+///
+/// # Safety
+///
+/// * `anchor` must return a word reachable and epoch-protected under the
+///   guard it is handed (an owned header, a never-deleted dummy, or a
+///   node found under that same guard's epoch).
+/// * Every node threaded through the chain must be an `N` allocated for
+///   this chain's [`ChainNode`] discipline.
+#[inline]
+pub(crate) unsafe fn find_pos<N, G, A, P>(g: &mut G, mut anchor: A, mut at_or_after: P) -> Position<N>
+where
+    N: ChainNode,
+    G: TraverseGuard,
+    A: FnMut(&Guard) -> (*const DAtomic, usize),
+    P: FnMut(*mut N) -> bool,
+{
+    'retry: loop {
+        g.at_restart();
+        let (mut prev_word, mut prev_alloc) = anchor(g.guard());
+        loop {
+            // Safety: prev allocation is epoch-protected (anchor contract;
+            // advanced predecessors were reachable inside this epoch).
+            let cur = unsafe { &*prev_word }.read_acquire(g.guard());
+            if is_deleted(cur) {
+                // Predecessor logically deleted under us: its link is
+                // frozen and off the live chain — restart at the anchor.
+                continue 'retry;
+            }
+            if cur == 0 {
+                return Position {
+                    prev_word,
+                    prev_alloc,
+                    cur: std::ptr::null_mut(),
+                };
+            }
+            let cur_node = cur as *mut N;
+            // Safety: cur was reachable through the live chain inside this
+            // epoch, so its allocation cannot be reclaimed yet even if it
+            // is unlinked concurrently.
+            let next_w = unsafe { &*cur_node }.chain_word().read_acquire(g.guard());
+            if is_deleted(next_w) {
+                // Logically deleted: unlink (cleanup helping) and retry.
+                // A stale prev word makes the CAS fail harmlessly.
+                if unsafe { &*prev_word }.cas_word(cur, without_mark(next_w)) {
+                    // Safety: we won the unlink.
+                    unsafe { N::retire_unlinked(cur_node) };
+                }
+                continue 'retry;
+            }
+            if at_or_after(cur_node) {
+                return Position {
+                    prev_word,
+                    prev_alloc,
+                    cur: cur_node,
+                };
+            }
+            // Advance: cur becomes the new predecessor.
+            prev_word = unsafe { &*cur_node }.chain_word();
+            prev_alloc = cur;
+        }
+    }
+}

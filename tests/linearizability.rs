@@ -588,3 +588,114 @@ fn recorded_stamped_move_histories_are_linearizable() {
         );
     }
 }
+
+#[test]
+fn recorded_skip_map_histories_are_linearizable() {
+    // LfSkipMap under MapSpec: concurrent insert-if-absent, remove and get
+    // on a tiny key space so every operation contends inside one level-0
+    // chain — with tower builds and unlinks racing throughout. The tower
+    // CASes are auxiliary; only the level-0 protocol word may decide
+    // outcomes, which is exactly what the checker verifies.
+    use lockfree_compose::linear::{MapOp, MapSpec};
+    use lockfree_compose::LfSkipMap;
+
+    for round in 0..30u64 {
+        let map: LfSkipMap<u32, u32> = LfSkipMap::new();
+        let rec: Recorder<MapOp> = Recorder::new();
+        std::thread::scope(|sc| {
+            for t in 0..3u64 {
+                let (map, rec) = (&map, &rec);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x5C1F + round * 41 + t);
+                    for i in 0..8u32 {
+                        let k = rng.below(4) as u32;
+                        match rng.below(4) {
+                            0 | 1 => {
+                                let v = (t as u32) * 100 + i;
+                                rec.record(|| MapOp::Insert(k, v, map.insert(k, v)));
+                            }
+                            2 => {
+                                rec.record(|| MapOp::Remove(k, map.remove(&k)));
+                            }
+                            _ => {
+                                rec.record(|| MapOp::Get(k, map.get(&k)));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let h = rec.finish();
+        let verdict = check_linearizable(&MapSpec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: skip-map history not linearizable:\n{}",
+            render_history(&h)
+        );
+    }
+}
+
+#[test]
+fn recorded_skip_map_range_entries_linearize_per_key() {
+    // The documented `range` contract made checkable: a range is NOT a
+    // consistent cut, but each reported (or omitted) in-bound key is an
+    // individually linearizable presence observation somewhere inside the
+    // range call's interval. Each range over the probe window is therefore
+    // recorded as one Get entry per probe key — present keys with their
+    // observed value, absent keys as Get(k, None) — all sharing the range
+    // call's [invoke, ret] interval, and the whole history must linearize
+    // under MapSpec. A range that resurrected a dead key, missed a stable
+    // one, or returned a torn value would be caught here.
+    use lockfree_compose::linear::{MapOp, MapSpec};
+    use lockfree_compose::LfSkipMap;
+
+    const PROBE_KEYS: u32 = 4;
+    for round in 0..20u64 {
+        let map: LfSkipMap<u32, u32> = LfSkipMap::new();
+        let rec: Recorder<MapOp> = Recorder::new();
+        std::thread::scope(|sc| {
+            for t in 0..2u64 {
+                let (map, rec) = (&map, &rec);
+                sc.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xA5C1 + round * 53 + t);
+                    for i in 0..10u32 {
+                        let k = rng.below(PROBE_KEYS as u64) as u32;
+                        match rng.below(3) {
+                            0 | 1 => {
+                                let v = (t as u32) * 100 + i;
+                                rec.record(|| MapOp::Insert(k, v, map.insert(k, v)));
+                            }
+                            _ => {
+                                rec.record(|| MapOp::Remove(k, map.remove(&k)));
+                            }
+                        }
+                    }
+                });
+            }
+            let (map, rec) = (&map, &rec);
+            sc.spawn(move || {
+                for _ in 0..10 {
+                    let invoke = rec.now();
+                    let snap = map.range(0..PROBE_KEYS);
+                    let ret = rec.now();
+                    // Sortedness is part of the contract regardless of
+                    // concurrency.
+                    for w in snap.windows(2) {
+                        assert!(w[0].0 < w[1].0, "range must be strictly ascending");
+                    }
+                    for k in 0..PROBE_KEYS {
+                        let seen = snap.iter().find(|(sk, _)| *sk == k).map(|(_, v)| *v);
+                        rec.push(MapOp::Get(k, seen), invoke, ret);
+                    }
+                }
+            });
+        });
+        let h = rec.finish();
+        let verdict = check_linearizable(&MapSpec, &h);
+        assert!(
+            verdict.is_linearizable(),
+            "round {round}: per-entry range observations not linearizable:\n{}",
+            render_history(&h)
+        );
+    }
+}
