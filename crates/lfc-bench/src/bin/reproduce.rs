@@ -9,6 +9,7 @@
 //! reproduce fig2 --backoff  # §6–§7 "with backoff" variant
 //! reproduce bench --label optimized [--out BENCH_run.json]
 //! reproduce throughput --label pr7 [--threads 1,2,4,8] [--duration-ms 300]
+//! reproduce chaos --label nightly [--smoke] [--duration-ms N] [--out FILE.json]
 //! ```
 //!
 //! `bench` runs the hot-path micro-suite (uncontended `move_one`, contended
@@ -156,7 +157,6 @@ fn run_bench_capture(args: &[String]) {
     // domain, so regressions in garbage accumulation (or an ejection storm
     // on an unstalled run, which should report zero) show up in the
     // tracked BENCH_results.json alongside the latency numbers.
-    let (ejections, zombies) = lfc_hazard::ejection_stats();
     let ratio = |r: f64| Json::Num((r * 10_000.0).round() / 10_000.0);
     let doc = Json::Obj(vec![
         ("label".into(), Json::str(label)),
@@ -167,56 +167,97 @@ fn run_bench_capture(args: &[String]) {
         ),
         ("overhead_ratio_queue".into(), ratio(q_ratio)),
         ("overhead_ratio_stack".into(), ratio(s_ratio)),
-        (
-            "reclamation".into(),
-            Json::Obj(vec![
-                (
-                    "retired_count".into(),
-                    Json::int(lfc_hazard::retired_count() as u64),
-                ),
-                (
-                    "retired_bytes".into(),
-                    Json::int(lfc_hazard::retired_bytes() as u64),
-                ),
-                (
-                    "diverted".into(),
-                    Json::int(lfc_hazard::diverted_count() as u64),
-                ),
-                ("scans".into(), Json::int(lfc_hazard::scan_count() as u64)),
-                ("ejections".into(), Json::int(ejections as u64)),
-                ("zombies".into(), Json::int(zombies as u64)),
-                // Fault/robustness diagnostics (PR 8): helper-side protocol
-                // completions (organic read-helping + corpse adoptions) and
-                // the per-site fault-injection counters — all zeros on an
-                // unfaulted run, so any nonzero here flags an armed site
-                // leaking into a perf capture.
-                (
-                    "helped_completions".into(),
-                    Json::int(lfc_dcas::helped_completions() as u64),
-                ),
-                (
-                    "abandoned_threads".into(),
-                    Json::int(lfc_runtime::fault::abandoned_total() as u64),
-                ),
-                (
-                    "fault_counters".into(),
-                    Json::Arr(
-                        lfc_runtime::fault::counters()
-                            .into_iter()
-                            .map(|(site, checks, fired)| {
-                                Json::Obj(vec![
-                                    ("site".into(), Json::str(site)),
-                                    ("checks".into(), Json::int(checks)),
-                                    ("fired".into(), Json::int(fired)),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ),
-            ]),
-        ),
+        ("reclamation".into(), lfc_bench::diag::reclamation_json()),
     ]);
     emit(&doc, out);
+}
+
+/// `reproduce chaos`: run the combined-adversary campaign against the
+/// sharded ledger (kill + stall + OOM armed simultaneously under Zipfian
+/// traffic, continuous conservation audits) and emit one JSON object —
+/// the artifact the `nightly-chaos` CI job archives.
+fn run_chaos_capture(args: &[String]) {
+    use lfc_bench::chaos::{run_chaos, ChaosCfg};
+
+    let mut label = "unlabeled".to_string();
+    let mut out: Option<String> = None;
+    let mut cfg = ChaosCfg::full();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                i += 1;
+                label = value(args, i, "--label");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(value(args, i, "--out"));
+            }
+            "--smoke" => cfg = ChaosCfg::smoke(),
+            "--duration-ms" => {
+                i += 1;
+                cfg.duration_ms = value(args, i, "--duration-ms")
+                    .parse()
+                    .expect("--duration-ms N");
+            }
+            "--workers" => {
+                i += 1;
+                cfg.workers = value(args, i, "--workers").parse().expect("--workers N");
+            }
+            other => {
+                eprintln!("unknown chaos argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "chaos campaign ({label}, seed {:#x}): {} workers / {} shards, {} ms armed, audits every {} ms...",
+        cfg.seed, cfg.workers, cfg.shards, cfg.duration_ms, cfg.audit_every_ms
+    );
+    let r = run_chaos(&cfg);
+    eprintln!(
+        "chaos-summary: ops={} ok={} shed={} overloaded={} audits={}/{} abandoned={} adopted={} \
+         ejections={} p99_normal={}ns p99_degraded={}ns retired_hwm={} leaked={}<= {} recovery={:?}ms final={} acceptable={}",
+        r.ops,
+        r.ok,
+        r.shed,
+        r.overloaded,
+        r.audits_conserved,
+        r.audits,
+        r.abandoned,
+        r.adopted,
+        r.ejections,
+        r.p99_normal_ns,
+        r.p99_degraded_ns,
+        r.retired_hwm,
+        r.leaked_blocks,
+        r.leak_bound_blocks,
+        r.recovery_ms,
+        r.final_state,
+        r.acceptable()
+    );
+    let doc = Json::Obj(vec![
+        ("label".into(), Json::str(label)),
+        ("seed".into(), Json::int(cfg.seed)),
+        ("workers".into(), Json::int(cfg.workers as u64)),
+        ("shards".into(), Json::int(cfg.shards as u64)),
+        ("duration_ms".into(), Json::int(cfg.duration_ms)),
+        ("campaign".into(), r.to_value()),
+        ("reclamation".into(), lfc_bench::diag::reclamation_json()),
+    ]);
+    emit(&doc, out);
+    if !r.acceptable() {
+        eprintln!("chaos campaign FAILED its acceptance criteria");
+        std::process::exit(1);
+    }
 }
 
 /// Write the document to `--out` or stdout.
@@ -363,6 +404,10 @@ fn run_throughput_capture(args: &[String]) {
         ),
         ("duration_ms".into(), Json::int(duration_ms)),
         ("curves".into(), Json::Arr(curves)),
+        // Same post-run snapshot `reproduce bench` embeds: a throughput
+        // capture with nonzero ejections/abandonments is not a clean
+        // perf number, and the tracked JSON should say so itself.
+        ("reclamation".into(), lfc_bench::diag::reclamation_json()),
     ]);
     emit(&doc, out);
 }
@@ -376,6 +421,10 @@ fn main() {
         }
         if args.first().map(String::as_str) == Some("throughput") {
             run_throughput_capture(&args[1..]);
+            return;
+        }
+        if args.first().map(String::as_str) == Some("chaos") {
+            run_chaos_capture(&args[1..]);
             return;
         }
     }

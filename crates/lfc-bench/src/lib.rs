@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod diag;
 pub mod harness;
 pub mod hist;
 pub mod json;

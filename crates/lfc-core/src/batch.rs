@@ -852,23 +852,16 @@ impl<R: BatchOp> BatchGate<R> {
                 // attempt commits fallibly (budgeted engines, see
                 // `Engine::new_budgeted`), so a descriptor refill failing
                 // under the same pressure surfaces as `None` here instead
-                // of reaching the aborting allocator; back off and retry —
+                // of reaching the aborting allocator; snooze and retry —
                 // each round either a rival made progress (commit failure)
                 // or memory is still short and yielding is the best this
                 // infallible entry point can do.
-                let mut spins: u32 = 1;
+                let mut snooze = lfc_runtime::Snooze::new();
                 loop {
                     if let Some(w) = req.try_direct(u32::MAX) {
                         return w;
                     }
-                    for _ in 0..spins {
-                        spin_loop();
-                    }
-                    if spins < 1024 {
-                        spins <<= 1;
-                    } else {
-                        yield_now();
-                    }
+                    snooze.tick();
                 }
             }
         };

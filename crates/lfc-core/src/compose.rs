@@ -484,7 +484,7 @@ fn conclude<T>(eng: &mut Engine, outcome: RemoveOutcome<T>) -> Result<MoveOutcom
     if eng.oom() {
         return Err(AllocError);
     }
-    Ok(move_verdict(&eng, outcome))
+    Ok(move_verdict(eng, outcome))
 }
 
 /// `move_one` over the engine: remove at stage 0, insert at stage 1.

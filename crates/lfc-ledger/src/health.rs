@@ -1,0 +1,397 @@
+//! The degradation ladder: `Normal → NoResize → Shed`.
+//!
+//! A chaos-hardened service must not fall over when its substrate starts
+//! reporting distress — it must *degrade*: close the operations that make
+//! the distress worse, keep serving everything else, and climb back up on
+//! its own once the signals clear. The ladder here has three rungs:
+//!
+//! * [`ServiceState::Normal`] — every operation admitted.
+//! * [`ServiceState::NoResize`] — *admission closed*: operations that grow
+//!   the service's footprint (new accounts, lane funding) are refused,
+//!   because account admission is the only driver of hash-map resizing and
+//!   fresh-segment allocation in this service. Everything that works over
+//!   existing state (transfers, settlement, closes, reads) still runs.
+//! * [`ServiceState::Shed`] — every mutation refused with a *counted*
+//!   [`LedgerError::Shed`](crate::LedgerError::Shed); reads are still
+//!   served. Nothing ever blocks.
+//!
+//! Rung changes are driven by **live substrate signals**, polled by a
+//! governor (see [`Health::poll`]):
+//!
+//! * [`lfc_hazard::retired_bytes`] — unreclaimed garbage. A stalled or
+//!   killed thread pins eras and the backlog climbs; past the soft budget
+//!   new admissions only add to it, past the hard budget the service is
+//!   at risk of genuine exhaustion.
+//! * the allocation-failure rate ([`Health::note_alloc_error`]), fed by
+//!   every `try_*` surface that observed an [`lfc_alloc::AllocError`] —
+//!   injected or genuine, the service cannot tell and should not care.
+//! * [`lfc_runtime::fault::corpse_count`] — dead threads whose operations
+//!   and resources have not yet been adopted.
+//! * the [`lfc_hazard::ejection_stats`] ejection delta — the reclamation
+//!   ladder actively ejecting stalled threads is a pressure sign, so a
+//!   poll that observed ejections does not count as clean.
+//!
+//! Escalation is immediate (one poll at hard severity jumps straight to
+//! `Shed`); de-escalation is deliberate — one rung per
+//! [`HealthCfg::heal_polls`] *consecutive clean polls*, so a flapping
+//! signal cannot bounce the service between rungs.
+//!
+//! Every transition is timestamped and recorded with the signal values
+//! that caused it ([`Health::transitions`]), which is what the chaos
+//! campaign uses to measure recovery time.
+
+use lfc_runtime::CachePadded;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The ladder rung the service currently stands on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ServiceState {
+    /// Every operation admitted.
+    Normal = 0,
+    /// Admission closed: footprint-growing operations refused.
+    NoResize = 1,
+    /// All mutations refused (counted, never blocking); reads still served.
+    Shed = 2,
+}
+
+impl ServiceState {
+    fn from_u8(v: u8) -> ServiceState {
+        match v {
+            0 => ServiceState::Normal,
+            1 => ServiceState::NoResize,
+            _ => ServiceState::Shed,
+        }
+    }
+
+    /// One rung down (toward `Normal`).
+    fn relaxed(self) -> ServiceState {
+        match self {
+            ServiceState::Shed => ServiceState::NoResize,
+            _ => ServiceState::Normal,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ServiceState::Normal => "normal",
+            ServiceState::NoResize => "no-resize",
+            ServiceState::Shed => "shed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Thresholds for the ladder (all compared at poll time).
+#[derive(Clone, Copy, Debug)]
+pub struct HealthCfg {
+    /// Retired-bytes backlog at which admission closes (`NoResize`).
+    pub soft_retired_bytes: usize,
+    /// Retired-bytes backlog at which the service sheds (`Shed`).
+    pub hard_retired_bytes: usize,
+    /// Allocation failures per poll window that close admission.
+    pub soft_alloc_errors: u64,
+    /// Allocation failures per poll window that shed.
+    pub hard_alloc_errors: u64,
+    /// Unadopted corpses above which admission closes.
+    pub soft_corpses: usize,
+    /// Consecutive clean polls required per rung of de-escalation.
+    pub heal_polls: u32,
+}
+
+impl Default for HealthCfg {
+    fn default() -> Self {
+        HealthCfg {
+            soft_retired_bytes: 8 << 20,
+            hard_retired_bytes: 48 << 20,
+            soft_alloc_errors: 16,
+            hard_alloc_errors: 256,
+            soft_corpses: 8,
+            heal_polls: 3,
+        }
+    }
+}
+
+/// One recorded rung change, with the signals that caused it.
+#[derive(Clone, Copy, Debug)]
+pub struct Transition {
+    /// Milliseconds since the [`Health`] was created.
+    pub at_ms: u64,
+    /// The rung left.
+    pub from: ServiceState,
+    /// The rung entered.
+    pub to: ServiceState,
+    /// `lfc_hazard::retired_bytes()` at the transition.
+    pub retired_bytes: usize,
+    /// Allocation failures observed in the poll window that transitioned.
+    pub alloc_errors: u64,
+    /// Unadopted corpses at the transition.
+    pub corpses: usize,
+}
+
+/// Point-in-time summary of the ladder and its refusal counters.
+#[derive(Clone, Debug)]
+pub struct HealthStats {
+    /// Current rung.
+    pub state: ServiceState,
+    /// Operations refused by the ladder (admission or shed refusals).
+    pub shed_total: u64,
+    /// Operations that exhausted their retry budget.
+    pub overloaded_total: u64,
+    /// Allocation failures reported by `try_*` surfaces, ever.
+    pub alloc_errors_total: u64,
+    /// Every rung change so far, in order.
+    pub transitions: Vec<Transition>,
+}
+
+/// The ladder state machine plus its refusal/error counters.
+///
+/// Operation threads only touch the padded atomics (`state` on every
+/// admission check, the counters on refusal/error paths). [`Health::poll`]
+/// is meant for a single governor thread; concurrent polls are safe but
+/// may split one error window across two observations. The transition log
+/// is behind a `Mutex` — it is diagnostics, written only at rung changes
+/// by the governor, never on the operation path.
+pub struct Health {
+    state: CachePadded<AtomicU8>,
+    alloc_errs_window: CachePadded<AtomicU64>,
+    shed_total: CachePadded<AtomicU64>,
+    overloaded_total: AtomicU64,
+    alloc_errs_total: AtomicU64,
+    clean_polls: AtomicU32,
+    last_ejections: AtomicUsize,
+    cfg: HealthCfg,
+    start: Instant,
+    transitions: Mutex<Vec<Transition>>,
+}
+
+impl Health {
+    /// A fresh ladder standing on `Normal`.
+    pub fn new(cfg: HealthCfg) -> Self {
+        Health {
+            state: CachePadded::new(AtomicU8::new(ServiceState::Normal as u8)),
+            alloc_errs_window: CachePadded::new(AtomicU64::new(0)),
+            shed_total: CachePadded::new(AtomicU64::new(0)),
+            overloaded_total: AtomicU64::new(0),
+            alloc_errs_total: AtomicU64::new(0),
+            clean_polls: AtomicU32::new(0),
+            last_ejections: AtomicUsize::new(lfc_hazard::ejection_stats().0),
+            cfg,
+            start: Instant::now(),
+            transitions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The rung the service currently stands on.
+    pub fn state(&self) -> ServiceState {
+        ServiceState::from_u8(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Record an allocation failure observed by a `try_*` surface.
+    pub fn note_alloc_error(&self) {
+        self.alloc_errs_window.fetch_add(1, Ordering::Relaxed);
+        self.alloc_errs_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a ladder refusal (admission closed or shedding).
+    pub fn note_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a retry-budget exhaustion.
+    pub fn note_overloaded(&self) {
+        self.overloaded_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read the substrate signals, move the ladder, and return the rung
+    /// now standing. Call from a governor loop; each call consumes the
+    /// allocation-error window.
+    pub fn poll(&self) -> ServiceState {
+        let errs = self.alloc_errs_window.swap(0, Ordering::Relaxed);
+        let retired = lfc_hazard::retired_bytes();
+        let corpses = lfc_runtime::fault::corpse_count();
+        let ejections = lfc_hazard::ejection_stats().0;
+        let ej_delta = ejections
+            - self
+                .last_ejections
+                .swap(ejections, Ordering::Relaxed)
+                .min(ejections);
+
+        let severity =
+            if retired >= self.cfg.hard_retired_bytes || errs >= self.cfg.hard_alloc_errors {
+                ServiceState::Shed
+            } else if retired >= self.cfg.soft_retired_bytes
+                || errs >= self.cfg.soft_alloc_errors
+                || corpses > self.cfg.soft_corpses
+            {
+                ServiceState::NoResize
+            } else {
+                ServiceState::Normal
+            };
+
+        let cur = self.state();
+        let next = if severity > cur {
+            // Escalate immediately: one hot poll is enough.
+            self.clean_polls.store(0, Ordering::Relaxed);
+            severity
+        } else if severity == ServiceState::Normal && ej_delta == 0 {
+            // A clean poll; de-escalate one rung per heal_polls of them.
+            if cur == ServiceState::Normal {
+                cur
+            } else {
+                let clean = self.clean_polls.fetch_add(1, Ordering::Relaxed) + 1;
+                if clean >= self.cfg.heal_polls {
+                    self.clean_polls.store(0, Ordering::Relaxed);
+                    cur.relaxed()
+                } else {
+                    cur
+                }
+            }
+        } else {
+            // Still unwell (or ejections in flight): hold the rung.
+            self.clean_polls.store(0, Ordering::Relaxed);
+            cur
+        };
+
+        if next != cur {
+            self.state.store(next as u8, Ordering::Relaxed);
+            self.transitions.lock().unwrap().push(Transition {
+                at_ms: self.start.elapsed().as_millis() as u64,
+                from: cur,
+                to: next,
+                retired_bytes: retired,
+                alloc_errors: errs,
+                corpses,
+            });
+        }
+        next
+    }
+
+    /// Snapshot the rung, refusal counters, and transition log.
+    pub fn stats(&self) -> HealthStats {
+        HealthStats {
+            state: self.state(),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            overloaded_total: self.overloaded_total.load(Ordering::Relaxed),
+            alloc_errors_total: self.alloc_errs_total.load(Ordering::Relaxed),
+            transitions: self.transitions.lock().unwrap().clone(),
+        }
+    }
+
+    /// Every rung change so far, in order.
+    pub fn transitions(&self) -> Vec<Transition> {
+        self.transitions.lock().unwrap().clone()
+    }
+
+    /// Milliseconds from the first departure from `Normal` to the last
+    /// return to it — the campaign's recovery window. `None` if the ladder
+    /// never left `Normal` or has not yet returned.
+    pub fn recovery_ms(&self) -> Option<u64> {
+        let log = self.transitions.lock().unwrap();
+        let first_out = log.iter().find(|t| t.from == ServiceState::Normal)?;
+        let last_back = log.iter().rev().find(|t| t.to == ServiceState::Normal)?;
+        if self.state() != ServiceState::Normal {
+            return None;
+        }
+        Some(last_back.at_ms.saturating_sub(first_out.at_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HealthCfg {
+        HealthCfg {
+            // Retired-byte budgets far above anything a unit test retires,
+            // so only the error window drives these transitions.
+            soft_retired_bytes: usize::MAX / 2,
+            hard_retired_bytes: usize::MAX / 2,
+            soft_alloc_errors: 2,
+            hard_alloc_errors: 8,
+            soft_corpses: usize::MAX / 2,
+            heal_polls: 2,
+        }
+    }
+
+    #[test]
+    fn escalates_immediately_and_heals_one_rung_at_a_time() {
+        let h = Health::new(tiny());
+        assert_eq!(h.state(), ServiceState::Normal);
+
+        for _ in 0..8 {
+            h.note_alloc_error();
+        }
+        assert_eq!(
+            h.poll(),
+            ServiceState::Shed,
+            "hard window sheds in one poll"
+        );
+
+        // One clean poll is not enough to come down…
+        assert_eq!(h.poll(), ServiceState::Shed);
+        // …the second heals exactly one rung…
+        assert_eq!(h.poll(), ServiceState::NoResize);
+        // …and two more bring it home.
+        assert_eq!(h.poll(), ServiceState::NoResize);
+        assert_eq!(h.poll(), ServiceState::Normal);
+
+        let log = h.transitions();
+        let path: Vec<(ServiceState, ServiceState)> = log.iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            path,
+            vec![
+                (ServiceState::Normal, ServiceState::Shed),
+                (ServiceState::Shed, ServiceState::NoResize),
+                (ServiceState::NoResize, ServiceState::Normal),
+            ]
+        );
+        assert!(h.recovery_ms().is_some());
+    }
+
+    #[test]
+    fn a_dirty_poll_resets_the_healing_streak() {
+        let h = Health::new(tiny());
+        h.note_alloc_error();
+        h.note_alloc_error();
+        assert_eq!(
+            h.poll(),
+            ServiceState::NoResize,
+            "soft window closes admission"
+        );
+
+        assert_eq!(h.poll(), ServiceState::NoResize); // clean #1
+        h.note_alloc_error();
+        h.note_alloc_error();
+        assert_eq!(
+            h.poll(),
+            ServiceState::NoResize,
+            "dirty poll holds the rung"
+        );
+        assert_eq!(
+            h.poll(),
+            ServiceState::NoResize,
+            "streak restarted: clean #1 again"
+        );
+        assert_eq!(h.poll(), ServiceState::Normal, "clean #2 heals");
+    }
+
+    #[test]
+    fn refusal_counters_accumulate() {
+        let h = Health::new(HealthCfg::default());
+        h.note_shed();
+        h.note_shed();
+        h.note_overloaded();
+        h.note_alloc_error();
+        let s = h.stats();
+        assert_eq!(s.shed_total, 2);
+        assert_eq!(s.overloaded_total, 1);
+        assert_eq!(s.alloc_errors_total, 1);
+        assert_eq!(s.state, ServiceState::Normal);
+        assert!(s.transitions.is_empty());
+    }
+}

@@ -14,7 +14,7 @@
 //! Requires `RUSTFLAGS="--cfg lfc_model"`; compiles to nothing otherwise.
 #![cfg(lfc_model)]
 
-use lfc_core::{move_keyed, move_one, move_to_all, swap, MoveOutcome, SwapOutcome};
+use lfc_core::{move_keyed, move_one, move_to_all, swap, try_move_keyed, MoveOutcome, SwapOutcome};
 use lfc_linear::{
     check_linearizable, render_history, Cont, KeyedMoveResult, KeyedPairOp, KeyedPairSpec, PairOp,
     PairSpec, Recorder, SwapResult, TrioOp, TrioSpec,
@@ -963,5 +963,266 @@ fn fuzz_keyed_skip_map_moves() {
                 "fuzz family keyed skip-map moves, workload {w} (re-run with LFC_FUZZ_SEED={base}): {f}"
             );
         }
+    }
+}
+
+#[test]
+fn fuzz_keyed_moves_with_faults_armed() {
+    // The PR 10 chaos plan family, phase A — the OOM adversary under the
+    // Wing–Gong checker: keyed plans over two hash maps with the
+    // commit-descriptor allocation site armed, every composed move routed
+    // through the fallible `try_move_keyed`. An `Err` is the try-surface
+    // contract ("nothing happened, both maps untouched") and is left
+    // unrecorded — if a refused attempt ever DID mutate a map, some later
+    // recorded operation observes the phantom change and the history
+    // stops linearizing.
+    use lfc_runtime::fault;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Clone, Copy, Debug)]
+    enum FaultOp {
+        InsA(u32),
+        InsB(u32),
+        RemA(u32),
+        RemB(u32),
+        TryMoveAB(u32),
+        TryMoveBA(u32),
+    }
+
+    fn mv_result(o: MoveOutcome) -> KeyedMoveResult {
+        match o {
+            MoveOutcome::Moved => KeyedMoveResult::Moved,
+            MoveOutcome::SourceEmpty => KeyedMoveResult::Absent,
+            MoveOutcome::TargetRejected => KeyedMoveResult::Duplicate,
+            MoveOutcome::WouldAlias => unreachable!("distinct containers"),
+        }
+    }
+
+    let (seeds, execs, base) = budget();
+    // Counted across every execution of every workload: the family must
+    // prove the adversary engaged, not that the schedule dodged it.
+    let refusals = Arc::new(AtomicU64::new(0));
+    for w in 0..seeds {
+        let mut rng = SmallRng::seed_from_u64(base.wrapping_add(w).wrapping_mul(0xFA017));
+        let plans: Vec<Vec<FaultOp>> = (0..2)
+            .map(|_| {
+                (0..5)
+                    .map(|_| {
+                        let k = rng.below(4) as u32;
+                        // Move-heavy mix: the armed site sits on the
+                        // composed path only.
+                        match rng.below(8) {
+                            0 => FaultOp::InsA(k),
+                            1 => FaultOp::InsB(k),
+                            2 => FaultOp::RemA(k),
+                            3 => FaultOp::RemB(k),
+                            4 | 5 => FaultOp::TryMoveAB(k),
+                            _ => FaultOp::TryMoveBA(k),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let plans = Arc::new(plans);
+        let report = explore_random(
+            FuzzOpts {
+                seed: base ^ (0xFA0 + w),
+                executions: execs,
+                step_budget: 200_000,
+                memory: MemoryMode::Interleaving,
+            },
+            {
+                let plans = plans.clone();
+                let refusals = refusals.clone();
+                move || {
+                    // Every second descriptor allocation fails.
+                    fault::arm_site("dcas.desc", fault::Schedule::EveryNth(2));
+                    let a = Arc::new(LfHashMap::<u32, u32>::with_buckets(1));
+                    let b = Arc::new(LfHashMap::<u32, u32>::with_buckets(1));
+                    let rec = Arc::new(Recorder::<KeyedPairOp>::new());
+                    // Seed the source map as a recorded sequential prefix:
+                    // a move of an absent key returns `SourceEmpty` before
+                    // it ever allocates, so an empty start would let most
+                    // executions dodge the armed site entirely.
+                    for k in 0..4u32 {
+                        rec.record(|| KeyedPairOp::InsA(k, a.insert(k, k)));
+                    }
+                    // Root pin: keeps the plan threads out of the
+                    // solo-regime fast path, which commits without a
+                    // descriptor and would never reach the armed site.
+                    let _g = lfc_hazard::pin();
+                    let handles: Vec<_> = plans
+                        .iter()
+                        .cloned()
+                        .map(|ops| {
+                            let (a, b, rec) = (a.clone(), b.clone(), rec.clone());
+                            let refusals = refusals.clone();
+                            lfc_model::thread::spawn(move || {
+                                for op in ops {
+                                    match op {
+                                        FaultOp::InsA(k) => {
+                                            rec.record(|| KeyedPairOp::InsA(k, a.insert(k, k)));
+                                        }
+                                        FaultOp::InsB(k) => {
+                                            rec.record(|| KeyedPairOp::InsB(k, b.insert(k, k)));
+                                        }
+                                        FaultOp::RemA(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::RemA(k, a.remove(&k).is_some())
+                                            });
+                                        }
+                                        FaultOp::RemB(k) => {
+                                            rec.record(|| {
+                                                KeyedPairOp::RemB(k, b.remove(&k).is_some())
+                                            });
+                                        }
+                                        FaultOp::TryMoveAB(k) => {
+                                            let invoke = rec.now();
+                                            match try_move_keyed(&*a, &k, &*b) {
+                                                Ok(o) => {
+                                                    let ret = rec.now();
+                                                    rec.push(
+                                                        KeyedPairOp::MoveAB(k, mv_result(o)),
+                                                        invoke,
+                                                        ret,
+                                                    );
+                                                }
+                                                Err(_) => {
+                                                    refusals.fetch_add(1, Ordering::Relaxed);
+                                                }
+                                            }
+                                        }
+                                        FaultOp::TryMoveBA(k) => {
+                                            let invoke = rec.now();
+                                            match try_move_keyed(&*b, &k, &*a) {
+                                                Ok(o) => {
+                                                    let ret = rec.now();
+                                                    rec.push(
+                                                        KeyedPairOp::MoveBA(k, mv_result(o)),
+                                                        invoke,
+                                                        ret,
+                                                    );
+                                                }
+                                                Err(_) => {
+                                                    refusals.fetch_add(1, Ordering::Relaxed);
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join();
+                    }
+                    fault::disarm();
+                    let rec =
+                        Arc::try_unwrap(rec).unwrap_or_else(|_| panic!("sole recorder owner"));
+                    let h = rec.finish();
+                    let verdict = check_linearizable(&KeyedPairSpec, &h);
+                    assert!(
+                        verdict.is_linearizable(),
+                        "non-linearizable keyed history under injected OOM:\n{}",
+                        render_history(&h)
+                    );
+                }
+            },
+        );
+        fault::disarm();
+        if let Some(f) = &report.failure {
+            panic!(
+                "fuzz family keyed moves + OOM, workload {w} (re-run with LFC_FUZZ_SEED={base}): {f}"
+            );
+        }
+    }
+    assert!(
+        refusals.load(Ordering::Relaxed) > 0,
+        "the armed allocation site never refused an attempt — the OOM adversary did not engage"
+    );
+
+    // Phase B — kill + OOM armed TOGETHER, checked by conservation: the
+    // recorder cannot express an operation whose owner died mid-flight
+    // (it is completed later by an adopter, outside any inv/ret window),
+    // so this phase asserts the ledger-grade invariant instead — every
+    // token ends in exactly one map with its value intact, every corpse
+    // is adopted. `Nth(1)` on the publish site guarantees exactly one
+    // death per execution: the first operation whose descriptor
+    // allocation survives `EveryNth(2)` reaches publication and dies
+    // there.
+    use lfc_dcas::adopt_dead_threads;
+
+    let report = explore_random(
+        FuzzOpts {
+            seed: base ^ 0x411ED,
+            executions: execs,
+            step_budget: 200_000,
+            memory: MemoryMode::Interleaving,
+        },
+        move || {
+            fault::arm_site("dcas.published", fault::Schedule::Nth(1));
+            fault::arm_site("dcas.desc", fault::Schedule::EveryNth(2));
+            let a = Arc::new(LfHashMap::<u32, u32>::with_buckets(1));
+            let b = Arc::new(LfHashMap::<u32, u32>::with_buckets(1));
+            for k in 0..3u32 {
+                a.insert(k, 100 + k);
+            }
+            let before = fault::abandoned_total();
+            // Root pin defeats the solo regime (see phase A) AND outlives
+            // both children, so the backstop adoption below runs under a
+            // registered guard.
+            let g = lfc_hazard::pin();
+            let victim = {
+                let (a, b) = (a.clone(), b.clone());
+                lfc_model::thread::spawn(move || {
+                    let _g = lfc_hazard::pin();
+                    let _ = try_move_keyed(&*a, &0u32, &*b);
+                })
+            };
+            let worker = {
+                let (a, b) = (a.clone(), b.clone());
+                lfc_model::thread::spawn(move || {
+                    let g = lfc_hazard::pin();
+                    for k in [1u32, 2] {
+                        let _ = try_move_keyed(&*a, &k, &*b);
+                    }
+                    // Bounded: depending on the interleaving the death may
+                    // not have happened yet; the root backstop is certain.
+                    for _ in 0..4 {
+                        if fault::corpse_count() > 0 && adopt_dead_threads(&g) > 0 {
+                            break;
+                        }
+                    }
+                })
+            };
+            victim.join();
+            worker.join();
+            for _ in 0..4 {
+                if fault::corpse_count() == 0 {
+                    break;
+                }
+                adopt_dead_threads(&g);
+            }
+            fault::disarm();
+            assert_eq!(fault::corpse_count(), 0, "corpse left unadopted");
+            assert!(
+                fault::abandoned_total() > before,
+                "the kill site never fired — the crash adversary did not engage"
+            );
+            // Conservation: keys are disjoint per thread and present at
+            // the start, so each token must end in exactly one map.
+            for k in 0..3u32 {
+                let (va, vb) = (a.get(&k), b.get(&k));
+                assert!(
+                    va.is_some() != vb.is_some(),
+                    "token {k} lost or duplicated after adoption (a={va:?}, b={vb:?})"
+                );
+                assert_eq!(va.or(vb), Some(100 + k), "token {k} value torn");
+            }
+        },
+    );
+    fault::disarm();
+    if let Some(f) = &report.failure {
+        panic!("fuzz family keyed moves + kill, (re-run with LFC_FUZZ_SEED={base}): {f}");
     }
 }

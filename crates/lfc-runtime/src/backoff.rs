@@ -4,6 +4,7 @@
 //! > lock-free objects, failed to insert or remove an element due to a
 //! > conflict, the time it waited before trying again was doubled."
 
+use crate::rng::SmallRng;
 use std::time::{Duration, Instant};
 
 /// Backoff configuration. `start_ns == 0` disables waiting entirely (a bare
@@ -46,6 +47,8 @@ pub struct Backoff {
     cfg: BackoffCfg,
     cur_ns: u32,
     failures: u32,
+    /// Present iff this instance jitters (see [`Backoff::new_jittered`]).
+    rng: Option<SmallRng>,
 }
 
 impl Backoff {
@@ -55,6 +58,22 @@ impl Backoff {
             cur_ns: cfg.start_ns,
             cfg,
             failures: 0,
+            rng: None,
+        }
+    }
+
+    /// As [`Backoff::new`], with jitter: each wait is drawn uniformly
+    /// from `[cur/2, cur]` before the doubling step. Threads that failed
+    /// on the same conflict at the same instant (a shed burst, an OOM
+    /// wave hitting every shard at once) would otherwise retry in
+    /// lockstep and collide again; the jitter decorrelates the herd while
+    /// keeping the same expected wait envelope.
+    pub fn new_jittered(cfg: BackoffCfg, seed: u64) -> Self {
+        Backoff {
+            cur_ns: cfg.start_ns,
+            cfg,
+            failures: 0,
+            rng: Some(SmallRng::seed_from_u64(seed)),
         }
     }
 
@@ -63,15 +82,90 @@ impl Backoff {
         self.failures
     }
 
-    /// Record a failed attempt and wait (doubling) if backoff is enabled.
+    /// Record a failed attempt and wait (doubling, jittered when
+    /// constructed so) if backoff is enabled.
     pub fn fail(&mut self) {
         self.failures += 1;
         if !self.cfg.is_enabled() {
             crate::sync::spin_loop();
             return;
         }
-        spin_wait(Duration::from_nanos(self.cur_ns as u64));
+        let wait_ns = match &mut self.rng {
+            Some(rng) => {
+                let half = (self.cur_ns / 2).max(1) as u64;
+                half + rng.below(half + 1)
+            }
+            None => self.cur_ns as u64,
+        };
+        spin_wait(Duration::from_nanos(wait_ns));
         self.cur_ns = self.cur_ns.saturating_mul(2).min(self.cfg.max_ns);
+    }
+}
+
+/// Cap on [`Snooze`]'s doubling spin budget: past this, every tick yields
+/// the quantum instead of growing the spin.
+const SNOOZE_SPIN_CAP: u32 = 1024;
+
+/// The spin→yield ladder for *infallible* retry loops: entry points that
+/// cannot report `Overloaded` to a caller (a batch gate absorbing an OOM
+/// on its infallible surface, a service retry loop that has decided to
+/// wait pressure out) and so must wait in place without blocking anyone.
+/// Each [`tick`](Snooze::tick) spins a doubling budget of hint rounds;
+/// once the budget saturates, ticks yield the quantum — on an
+/// oversubscribed core the rival whose progress we are waiting on only
+/// runs if we give the core up.
+///
+/// Spin hints and yields come from the virtual-atomics facade, so under
+/// the model checker every tick is a scheduling point and bounded
+/// exploration never livelocks in a snooze loop.
+#[derive(Debug)]
+pub struct Snooze {
+    spins: u32,
+}
+
+impl Default for Snooze {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Snooze {
+    /// Fresh ladder (one per retry sequence).
+    pub const fn new() -> Self {
+        Snooze { spins: 1 }
+    }
+
+    /// One failed round: spin the current budget, then double it — or
+    /// yield once the budget is saturated.
+    pub fn tick(&mut self) {
+        for _ in 0..self.spins {
+            crate::sync::spin_loop();
+        }
+        if self.spins < SNOOZE_SPIN_CAP {
+            self.spins <<= 1;
+        } else {
+            crate::sync::yield_now();
+        }
+    }
+
+    /// Whether the ladder has escalated past spinning into yielding.
+    pub fn is_yielding(&self) -> bool {
+        self.spins >= SNOOZE_SPIN_CAP
+    }
+}
+
+/// One round of a *camped* wait — a bounded rendezvous window (an
+/// elimination slot waiting for its partner, a quiesce gate waiting for
+/// in-flight operations to drain) where the partner must actually run
+/// for the wait to end: yields every fourth round so an oversubscribed
+/// core hands the partner its quantum, spins otherwise to catch a fast
+/// partner without paying the scheduler.
+#[inline]
+pub fn camp_round(i: u32) {
+    if i % 4 == 3 {
+        crate::sync::yield_now();
+    } else {
+        crate::sync::spin_loop();
     }
 }
 
@@ -125,6 +219,46 @@ mod tests {
             b.fail(); // 200µs + 400µs + 800µs + 1.6ms = 3ms
         }
         assert!(t.elapsed() >= Duration::from_micros(2800));
+    }
+
+    #[test]
+    fn jittered_waits_stay_inside_the_envelope() {
+        // Deterministic: the jitter draw is seeded. Each wait must land in
+        // [cur/2, cur] and the ladder must still double up to the cap.
+        let mut b = Backoff::new_jittered(BackoffCfg::exponential(100, 400), 7);
+        assert_eq!(b.cur_ns, 100);
+        b.fail();
+        assert_eq!(b.cur_ns, 200);
+        b.fail();
+        assert_eq!(b.cur_ns, 400);
+        b.fail();
+        assert_eq!(b.cur_ns, 400, "capped at max");
+        assert_eq!(b.failures(), 3);
+    }
+
+    #[test]
+    fn snooze_escalates_from_spinning_to_yielding() {
+        let mut s = Snooze::new();
+        assert!(!s.is_yielding());
+        // 1+2+4+...+512 spin rounds, then the cap is reached.
+        for _ in 0..10 {
+            s.tick();
+        }
+        assert!(s.is_yielding(), "budget must saturate into yields");
+        // Saturated ticks stay cheap (yield, no unbounded spin growth).
+        let t = Instant::now();
+        for _ in 0..100 {
+            s.tick();
+        }
+        assert!(t.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn camp_round_mixes_spins_and_yields() {
+        // Smoke: must not panic or wait unboundedly for any round index.
+        for i in 0..16 {
+            camp_round(i);
+        }
     }
 
     #[test]

@@ -349,6 +349,53 @@ pub fn disarm() {
     ARMED_GEN.store(GEN_DISARMED, Ordering::Release);
 }
 
+/// Disarm one named site, leaving every other schedule armed and **all**
+/// counters (including the disarmed site's) intact. Phased chaos
+/// campaigns retire one adversary at a time this way — e.g. kill sites
+/// first, allocation sites later — and still read the full per-site
+/// check/fire history at the end. Passing `"*"` disarms the wildcard.
+///
+/// When the last schedule goes (no site, no wildcard, no unconsumed
+/// script), the armed-generation word drops to disarmed and the hot
+/// paths are back to their single predictable branch.
+pub fn disarm_site(site: &str) {
+    // An explicit disarm must not beat the lazy env consult: resolve the
+    // environment first so `LFC_FAULTS`-armed schedules are visible (and
+    // survivors of this disarm stay armed).
+    if ARMED_GEN.load(Ordering::Relaxed) == GEN_UNKNOWN {
+        init_from_env();
+    }
+    let any_left = with_state(|st| {
+        if site == "*" {
+            if let Some(w) = &mut st.wildcard {
+                w.schedule = None;
+                w.rng = None;
+            }
+        } else if let Some(s) = st.sites.get_mut(site) {
+            s.schedule = None;
+            s.rng = None;
+        }
+        st.sites.values().any(|s| s.schedule.is_some())
+            || st.wildcard.as_ref().is_some_and(|w| w.schedule.is_some())
+            || st.script_pos < st.script.len()
+    });
+    if any_left {
+        // Fresh generation: gates snapshotted before this call may still
+        // fire the retired site once; everything after sees the new mix.
+        mark_armed();
+    } else {
+        ARMED_GEN.store(GEN_DISARMED, Ordering::Release);
+    }
+}
+
+/// Whether any fault schedule is currently armed (one `Relaxed` load plus
+/// a lazy first-use environment consult). A cheap health signal: service
+/// governors surface it in diagnostics so a chaos campaign that leaks an
+/// armed site into a measurement phase is visible.
+pub fn armed() -> bool {
+    gate().armed
+}
+
 /// Per-site `(site, checks, fired)` counters, sorted by site name.
 /// Empty when nothing was ever armed. Wildcard-injected faults are
 /// attributed to the concrete site they fired at; the trailing `"*"` row
@@ -681,6 +728,59 @@ mod tests {
         assert_eq!((star.1, star.2), (3, 0));
         let a = c.iter().find(|(s, _, _)| s == "wild.a").unwrap();
         assert_eq!(a.2, 2);
+        disarm();
+    }
+
+    #[test]
+    fn disarm_site_retires_one_adversary_at_a_time() {
+        let _s = serial();
+        arm_site("phase.kill", Schedule::Always);
+        arm_site("phase.oom", Schedule::Always);
+        assert!(check("phase.kill") && check("phase.oom"));
+
+        // Retiring one adversary leaves the other armed and keeps the
+        // retired site's counters for the end-of-campaign report.
+        disarm_site("phase.kill");
+        assert!(armed(), "phase.oom is still live");
+        assert!(!check("phase.kill"), "retired site never fires again");
+        assert!(check("phase.oom"));
+        let c = counters();
+        let kill = c.iter().find(|(s, _, _)| s == "phase.kill").unwrap();
+        assert_eq!(kill.2, 1, "history of the retired site is preserved");
+        assert!(kill.1 >= 2, "post-disarm checks still counted");
+
+        // Retiring the last schedule drops the armed-generation word:
+        // the disarmed fast path is back.
+        disarm_site("phase.oom");
+        assert!(!armed(), "no schedule left anywhere");
+        assert!(!check("phase.oom"));
+        // Counters survive until the full disarm: phase.kill fired once,
+        // phase.oom twice (before each retirement).
+        assert_eq!(fired_total(), 3);
+        disarm();
+    }
+
+    #[test]
+    fn disarm_site_covers_the_wildcard() {
+        let _s = serial();
+        arm_all(Schedule::Always);
+        arm_site("exact.site", Schedule::Always);
+        disarm_site("*");
+        assert!(armed(), "exact entry outlives the wildcard");
+        assert!(!check("unlisted.site"), "wildcard is gone");
+        assert!(check("exact.site"));
+        disarm_site("exact.site");
+        assert!(!armed());
+        disarm();
+    }
+
+    #[test]
+    fn disarm_site_on_unknown_site_is_a_no_op() {
+        let _s = serial();
+        arm_site("real.site", Schedule::Always);
+        disarm_site("never.armed");
+        assert!(armed());
+        assert!(check("real.site"));
         disarm();
     }
 

@@ -33,7 +33,7 @@ pub mod solo;
 pub mod sync;
 pub mod tid;
 
-pub use backoff::{Backoff, BackoffCfg};
+pub use backoff::{camp_round, Backoff, BackoffCfg, Snooze};
 pub use lock::TtasLock;
 pub use pad::CachePadded;
 pub use rng::SmallRng;

@@ -66,7 +66,7 @@
 //! has no word to capture.
 
 use crate::node::{retire_node, Node};
-use crate::sync::{spin_loop, yield_now, AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Ordering};
 use lfc_hazard::{slot, Guard};
 use lfc_runtime::CachePadded;
 use std::marker::PhantomData;
@@ -137,11 +137,7 @@ impl<T: Clone + Send + Sync + 'static> ElimArray<T> {
                 counters::note_pair();
                 return true;
             }
-            if i % 4 == 3 {
-                yield_now();
-            } else {
-                spin_loop();
-            }
+            lfc_runtime::camp_round(i);
             i += 1;
         }
         // Withdraw. Failure means a popper won the claim in the window.

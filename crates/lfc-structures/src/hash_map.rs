@@ -56,8 +56,8 @@
 //! Bucket selection hashes with an FxHash-style mixer over a power-of-two
 //! bucket count (PR 3): one rotate-xor-multiply per key word plus a mask.
 
-use crate::traverse::{self, is_deleted, without_mark, ChainNode, NoRepin, Position, DEL_MARK};
 use crate::sync::{AtomicUsize, Ordering};
+use crate::traverse::{self, is_deleted, without_mark, ChainNode, NoRepin, Position, DEL_MARK};
 use lfc_core::{
     InsertCtx, InsertOutcome, KeyedMoveSource, KeyedMoveTarget, LinPoint, NormalCas, RemoveCtx,
     RemoveOutcome, ScasResult,
@@ -140,7 +140,6 @@ impl Hasher for FxHasher {
         self.hash as u64
     }
 }
-
 
 /// The bit forced on before reversal so every data key's split-order key
 /// has LSB 1 (dummies reverse a bucket index `< 2^(BITS-1)`, so theirs is

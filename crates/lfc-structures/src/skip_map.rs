@@ -851,7 +851,7 @@ mod tests {
             sc.spawn(move || {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    let k = (i * 7) % 128 | 1; // odd keys churn
+                    let k = ((i * 7) % 128) | 1; // odd keys churn
                     mw.insert(k, i);
                     mw.remove(&k);
                     i += 1;
@@ -863,8 +863,11 @@ mod tests {
                 // present.
                 assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
                 assert!(snap.iter().all(|(k, _)| (10..100).contains(k)));
-                let evens: Vec<u64> =
-                    snap.iter().map(|(k, _)| *k).filter(|k| k % 2 == 0).collect();
+                let evens: Vec<u64> = snap
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .filter(|k| k % 2 == 0)
+                    .collect();
                 assert_eq!(evens, (5..50).map(|k| k * 2).collect::<Vec<_>>());
             }
             stop.store(true, Ordering::Relaxed);

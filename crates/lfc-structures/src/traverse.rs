@@ -187,7 +187,11 @@ impl TraverseGuard for NoRepin<'_> {
 /// * Every node threaded through the chain must be an `N` allocated for
 ///   this chain's [`ChainNode`] discipline.
 #[inline]
-pub(crate) unsafe fn find_pos<N, G, A, P>(g: &mut G, mut anchor: A, mut at_or_after: P) -> Position<N>
+pub(crate) unsafe fn find_pos<N, G, A, P>(
+    g: &mut G,
+    mut anchor: A,
+    mut at_or_after: P,
+) -> Position<N>
 where
     N: ChainNode,
     G: TraverseGuard,

@@ -67,8 +67,8 @@ pub mod alloc_stats {
 pub mod fault {
     pub use lfc_runtime::fault::{
         abandon, abandoned_total, abandonment_scope, adopted_total, arm_all, arm_script, arm_site,
-        corpse_count, corpses, counters, disarm, fired_total, install_quiet_abandon_hook,
-        is_corpse, shield_thread, thread_is_abandoning, Schedule,
+        corpse_count, corpses, counters, disarm, disarm_site, fired_total,
+        install_quiet_abandon_hook, is_corpse, shield_thread, thread_is_abandoning, Schedule,
     };
 }
 
@@ -76,6 +76,16 @@ pub mod fault {
 /// owner died mid-flight (see `lfc_dcas::adopt`).
 pub mod adopt {
     pub use lfc_dcas::adopt::{adopt_dead_threads, announced, helped_completions};
+}
+
+/// The chaos-hardened sharded ledger service built on composed operations
+/// (see `lfc_ledger`): degradation ladder, quiesce protocol, conservation
+/// audits.
+pub mod ledger {
+    pub use lfc_ledger::{
+        AuditReport, Health, HealthCfg, HealthStats, Ledger, LedgerCfg, LedgerError, ServiceState,
+        SettleOutcome, TendReport, Transition, NOTICE_BASE,
+    };
 }
 
 /// Linearizability checking toolkit (used by the test-suite; public because
